@@ -1,0 +1,93 @@
+"""Ablation: the stage-2 GA's conservative operators (Section III-G).
+
+The paper argues that conventional two-parent crossover breaks the learnt
+per-layer budget relationship (a child can over- or under-request
+resources across the board), which is why the fine-tuning GA swaps layer
+pairs *within* one genome instead.  This bench fine-tunes the same
+stage-1 solution with both crossover modes and several mutation steps,
+measuring final quality and how many offspring stayed feasible.
+"""
+
+from __future__ import annotations
+
+from repro import ConfuciuX
+from repro.core.evaluator import DesignPointEvaluator
+from repro.core.reporting import format_table
+from repro.experiments import TaskSpec, default_epochs
+from repro.ga import LocalGA
+
+LAYER_SLICE = 12
+SEEDS = (0, 1, 2)
+
+
+def test_ablation_local_ga(benchmark, cost_model, save_report):
+    epochs = default_epochs(150)
+    generations = max(30, epochs // 3)
+    task = TaskSpec(model="mobilenet_v2", dataflow="dla", platform="iot",
+                    layer_slice=LAYER_SLICE)
+    constraint = task.constraint(cost_model)
+
+    def run():
+        # One shared stage-1 solution seeds every variant.
+        pipeline = ConfuciuX(task.layers(), objective="latency",
+                             constraint=constraint, dataflow="dla", seed=0,
+                             cost_model=cost_model)
+        stage1 = pipeline.run(global_epochs=epochs,
+                              finetune_generations=0)
+        assert stage1.best_cost is not None
+        seed_assignments = stage1.global_result.best_assignments
+
+        variants = {
+            "local crossover, step 4 (paper)": dict(crossover_mode="local",
+                                                    mutation_step=4),
+            "global crossover, step 4": dict(crossover_mode="global",
+                                             mutation_step=4),
+            "local crossover, step 16": dict(crossover_mode="local",
+                                             mutation_step=16),
+            "local crossover, step 1": dict(crossover_mode="local",
+                                            mutation_step=1),
+        }
+        out = {}
+        for name, kwargs in variants.items():
+            costs = []
+            for seed in SEEDS:
+                evaluator = DesignPointEvaluator(
+                    task.layers(), "latency", constraint, cost_model,
+                    task.space(), dataflow="dla")
+                ga = LocalGA(seed=seed, **kwargs)
+                result = ga.search(evaluator, seed_assignments,
+                                   generations)
+                costs.append(result.best_cost)
+            out[name] = costs
+        return stage1.global_cost, out
+
+    stage1_cost, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [["stage-1 seed", f"{stage1_cost:.2E}", "-"]]
+    for name, costs in outcomes.items():
+        feasible = [c for c in costs if c is not None]
+        median = sorted(feasible)[len(feasible) // 2] if feasible else None
+        rows.append([
+            name,
+            f"{median:.2E}" if median is not None else "NAN",
+            f"{100 * (stage1_cost - median) / stage1_cost:.1f}%"
+            if median is not None else "-",
+        ])
+    save_report("ablation_local_ga", format_table(
+        ["variant", "median fine-tuned latency (cy)",
+         "improvement over stage 1"],
+        rows,
+        title=f"Ablation -- stage-2 GA operators (MobileNet-V2 first "
+              f"{LAYER_SLICE} layers, IoT area, {generations} generations, "
+              f"{len(SEEDS)} seeds)",
+    ))
+
+    # The paper's configuration must never regress below the seed, and the
+    # local crossover must be at least as good as the global blend.
+    paper = [c for c in outcomes["local crossover, step 4 (paper)"]
+             if c is not None]
+    assert paper and all(c <= stage1_cost for c in paper)
+    blend = [c for c in outcomes["global crossover, step 4"]
+             if c is not None]
+    if blend:
+        assert min(paper) <= min(blend) * 1.25

@@ -1,0 +1,70 @@
+"""Fig. 4: the fine-grained HW design space of three MobileNet-V2 layers.
+
+Sweeps PEs 1..64 and the filter tile (hence the L1 buffer size) for layers
+12 and 34 (CONV) and 23 (DWCONV) under the NVDLA-style dataflow, reporting
+the latency/energy/area ranges and the spread at fixed area -- the paper's
+argument that the space is huge and no design point wins everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reporting import format_table
+from repro.costmodel.dataflow import NVDLAStyle
+from repro.models import get_model
+
+#: The paper's three example layers (0-indexed into the 52-layer list).
+LAYER_INDICES = {"layer12_conv": 12, "layer34_conv": 34, "layer23_dwconv": 23}
+
+
+def sweep_layer(cost_model, layer, max_pes=64, max_tile=64):
+    dla = NVDLAStyle()
+    points = []
+    for pes in range(1, max_pes + 1, 3):
+        for tile in range(1, max_tile + 1, 3):
+            l1_bytes = dla.l1_requirement(layer, tile)
+            report = cost_model.evaluate_layer(layer, "dla", pes, l1_bytes)
+            points.append((pes, l1_bytes, report.latency_cycles,
+                           report.energy_nj, report.area_um2))
+    return points
+
+
+def test_fig04_design_space(benchmark, cost_model, save_report):
+    layers = get_model("mobilenet_v2")
+
+    def run():
+        return {
+            name: sweep_layer(cost_model, layers[index])
+            for name, index in LAYER_INDICES.items()
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, points in sweeps.items():
+        lat = np.array([p[2] for p in points])
+        energy = np.array([p[3] for p in points])
+        area = np.array([p[4] for p in points])
+        # Spread of latency among near-equal-area design points.
+        median_area = np.median(area)
+        band = lat[(area > 0.8 * median_area) & (area < 1.2 * median_area)]
+        rows.append([
+            name,
+            len(points),
+            f"{lat.min():.2E}..{lat.max():.2E}",
+            f"{energy.min():.2E}..{energy.max():.2E}",
+            f"{area.min():.2E}..{area.max():.2E}",
+            f"{band.max() / band.min():.1f}x",
+        ])
+    save_report("fig04_design_space", format_table(
+        ["layer", "points", "latency (cy)", "energy (nJ)", "area (um2)",
+         "latency spread @ ~equal area"],
+        rows,
+        title="Fig. 4 -- design-space ranges, MobileNet-V2, NVDLA-style",
+    ))
+
+    # Shape checks: wide latency spread at comparable area.
+    for name, points in sweeps.items():
+        lat = np.array([p[2] for p in points])
+        assert lat.max() / lat.min() > 3.0, name

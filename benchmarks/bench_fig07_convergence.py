@@ -1,0 +1,75 @@
+"""Fig. 7: convergence and sample efficiency of Con'X(global).
+
+Two traces on MobileNet-V2 under the IoT area budget -- (a) minimize
+latency, (b) minimize energy -- against random search as the
+sample-efficiency reference, plus the epochs-to-quality metric.
+"""
+
+from __future__ import annotations
+
+from repro.core.reporting import ascii_bars, format_table
+from repro.experiments import TaskSpec, default_epochs
+from repro.experiments.runner import compare_methods
+
+LAYER_SLICE = 16
+
+
+def trace_summary(history, buckets=8):
+    """Downsample a best-so-far trace for the ASCII rendering."""
+    step = max(1, len(history) // buckets)
+    points = history[::step][:buckets]
+    return [v if v != float("inf") else 0.0 for v in points]
+
+
+def test_fig07_convergence(benchmark, cost_model, save_report):
+    epochs = default_epochs(200)
+
+    def run():
+        out = {}
+        for objective in ("latency", "energy"):
+            task = TaskSpec(model="mobilenet_v2", objective=objective,
+                            platform="iot", layer_slice=LAYER_SLICE)
+            out[objective] = compare_methods(
+                task, ["reinforce", "random"], epochs,
+                cost_model=cost_model)
+        return out
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = []
+    rows = []
+    for objective, results in traces.items():
+        conx = results["reinforce"]
+        random = results["random"]
+        target = (random.best_cost if random.best_cost is not None
+                  else conx.best_cost * 2)
+        reach = conx.epochs_to_reach(target)
+        rows.append([
+            objective,
+            conx.format_cost(),
+            random.format_cost(),
+            str(reach) if reach is not None else ">budget",
+            f"{conx.evaluations}",
+        ])
+        sections.append(
+            f"\n(a={objective}) Con'X(global) best-so-far trace "
+            f"(downsampled):\n"
+            + ascii_bars(trace_summary(conx.history),
+                         labels=[f"ep{i * (epochs // 8)}"
+                                 for i in range(8)]))
+    report = format_table(
+        ["objective", "Con'X best", "random best",
+         "epochs to reach random's best", "env evals"],
+        rows,
+        title=f"Fig. 7 -- convergence, MobileNet-V2 "
+              f"(first {LAYER_SLICE} layers), IoT area, Eps={epochs}",
+    ) + "\n" + "\n".join(sections)
+    save_report("fig07_convergence", report)
+
+    # Shape check: Con'X reaches random search's final quality early.
+    for objective, results in traces.items():
+        conx, random = results["reinforce"], results["random"]
+        assert conx.feasible
+        if random.best_cost is not None:
+            reach = conx.epochs_to_reach(random.best_cost)
+            assert reach is not None and reach <= epochs

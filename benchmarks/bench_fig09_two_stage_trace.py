@@ -1,0 +1,58 @@
+"""Fig. 9: overall latency as a function of epochs across the two stages.
+
+MobileNet-V2, latency objective, IoT area budget: the REINFORCE stage
+descends from the first valid value, then the GA stage continues the
+descent from the global solution (the 7.3E+7 -> 3.2E+7 -> 2.5E+7 shape of
+the paper's figure).
+"""
+
+from __future__ import annotations
+
+from repro import ConfuciuX
+from repro.core.reporting import ascii_bars, format_table
+from repro.experiments import default_epochs
+from repro.models import get_model
+
+LAYER_SLICE = 16
+
+
+def test_fig09_two_stage_trace(benchmark, cost_model, save_report):
+    epochs = default_epochs(200)
+    generations = max(30, epochs // 3)
+    layers = get_model("mobilenet_v2")[:LAYER_SLICE]
+
+    def run():
+        pipeline = ConfuciuX(layers, objective="latency", dataflow="dla",
+                             constraint_kind="area", platform="iot",
+                             seed=0, cost_model=cost_model)
+        return pipeline.run(global_epochs=epochs,
+                            finetune_generations=generations)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.best_cost is not None
+
+    trace = result.trace
+    finite = [v for v in trace if v != float("inf")]
+    step = max(1, len(finite) // 12)
+    sampled = finite[::step][:12]
+
+    report = format_table(
+        ["milestone", "latency (cycles)"],
+        [
+            ["initial valid value", f"{result.initial_valid_cost:.2E}"],
+            [f"global search (epoch {epochs})",
+             f"{result.global_cost:.2E}"],
+            [f"fine-tuned (+{generations} generations)",
+             f"{result.best_cost:.2E}"],
+        ],
+        title=f"Fig. 9 -- two-stage trace, MobileNet-V2 "
+              f"(first {LAYER_SLICE} layers), IoT area",
+    )
+    report += "\n\nBest-so-far latency across both stages:\n" + ascii_bars(
+        sampled, labels=[f"t{i * step}" for i in range(len(sampled))])
+    save_report("fig09_two_stage_trace", report)
+
+    # Shape checks: monotone descent crossing both stage boundaries.
+    assert all(b <= a for a, b in zip(finite, finite[1:]))
+    assert result.best_cost <= result.global_cost \
+        <= result.initial_valid_cost

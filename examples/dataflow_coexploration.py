@@ -1,0 +1,56 @@
+"""Dataflow-HW co-exploration (the MIX strategy, paper Section IV-D).
+
+Lets the agent pick a dataflow style per layer alongside the PE/buffer
+assignment, then visualizes which style each layer got -- early layers with
+large activations tend toward Eyeriss/ShiDianNao styles, late channel-heavy
+layers toward the NVDLA style.
+
+    python examples/dataflow_coexploration.py [--epochs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import JointSearch, get_model
+from repro.core.joint import dataflow_assignment_table, style_histogram
+from repro.core.reporting import ascii_bars, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=200)
+    parser.add_argument("--layers", type=int, default=20)
+    parser.add_argument("--model", default="mobilenet_v2")
+    args = parser.parse_args()
+
+    layers = get_model(args.model)[: args.layers]
+    search = JointSearch(layers, objective="latency",
+                         constraint_kind="area", platform="iot", seed=0)
+    result = search.run(global_epochs=args.epochs,
+                        finetune_generations=args.epochs // 5)
+
+    if result.best_cost is None:
+        print("No feasible assignment found; increase --epochs.")
+        return
+
+    rows = dataflow_assignment_table(result, layers)
+    print(format_table(
+        ["#", "layer", "type", "style", "PEs", "L1 bytes"],
+        [[r["layer"], r["name"], r["type"], r["style"], r["pes"],
+          r["l1_bytes"]] for r in rows],
+        title=f"Con'X-MIX assignment for {args.model} "
+              f"(latency {result.best_cost:.2E} cycles)"))
+    print()
+    print("Style histogram:", style_histogram(rows))
+    print()
+    print("Per-layer styles:",
+          " ".join(r["letter"] for r in rows))
+    print()
+    print("PEs per layer:")
+    print(ascii_bars([r["pes"] for r in rows],
+                     labels=[str(r["layer"]) for r in rows]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Interactive-ish design-space exploration with the raw cost model.
+
+Shows what ConfuciuX searches over: sweeps (PEs, L1 buffer) for a chosen
+layer and dataflow, prints the latency/energy/area contours as text
+heatmaps, and reports the Pareto frontier -- the Fig. 4 / Fig. 5 view of
+the problem without any search in the loop.
+
+    python examples/design_space_explorer.py --model resnet50 --layer 5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.costmodel import CostModel
+from repro.env.spaces import ActionSpace
+from repro.models import get_model
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(grid: np.ndarray, title: str, space: ActionSpace) -> str:
+    """Log-scaled text heatmap: '@' = worst, ' ' = best."""
+    logs = np.log10(grid)
+    low, high = logs.min(), logs.max()
+    span = (high - low) or 1.0
+    lines = [title, "      " + " ".join(f"b{j + 1:<2d}"
+                                        for j in range(grid.shape[1]))]
+    for i in range(grid.shape[0] - 1, -1, -1):
+        cells = []
+        for j in range(grid.shape[1]):
+            shade = _SHADES[int((logs[i, j] - low) / span
+                                * (len(_SHADES) - 1))]
+            cells.append(f" {shade} ")
+        lines.append(f"p{i + 1:<3d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def pareto_front(points):
+    """Non-dominated (latency, area) pairs, sorted by area."""
+    front = []
+    for point in sorted(points, key=lambda p: (p[2], p[1])):
+        if not front or point[1] < front[-1][1]:
+            front.append(point)
+    return front
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="mobilenet_v2")
+    parser.add_argument("--layer", type=int, default=12)
+    parser.add_argument("--dataflow", default="dla",
+                        choices=["dla", "eye", "shi"])
+    args = parser.parse_args()
+
+    layers = get_model(args.model)
+    layer = layers[args.layer % len(layers)]
+    cost_model = CostModel()
+    space = ActionSpace.build(args.dataflow)
+
+    print(f"Layer {args.layer} of {args.model}: {layer}")
+    latency = np.zeros((12, 12))
+    energy = np.zeros((12, 12))
+    points = []
+    for i, pes in enumerate(space.pe_levels):
+        for j, l1 in enumerate(space.buf_levels):
+            report = cost_model.evaluate_layer(layer, args.dataflow, pes,
+                                               l1)
+            latency[i, j] = report.latency_cycles
+            energy[i, j] = report.energy_nj
+            points.append(((pes, l1), report.latency_cycles,
+                           report.area_um2))
+
+    print()
+    print(heatmap(latency, "Latency contour (darker = slower):", space))
+    print()
+    print(heatmap(energy, "Energy contour (darker = hungrier):", space))
+    print()
+    print("Pareto frontier (area vs latency):")
+    for (pes, l1), lat, area in pareto_front(points):
+        print(f"  PE={pes:>3d} Buf={l1:>3d}B  "
+              f"latency={lat:.3E}cy  area={area:.3E}um2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""IoT deployment study: one model, every dataflow, tightening budgets.
+
+The scenario from the paper's intro: an efficient mobile model (MnasNet)
+must be pipelined onto a small edge accelerator (LP deployment).  The
+script sweeps the three dataflow styles across the Cloud / IoT / IoTx
+budget tiers, showing how tight budgets change which dataflow wins -- the
+observation behind Table VI.
+
+    python examples/iot_deployment.py [--epochs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ConfuciuX, get_model
+from repro.core.reporting import format_table
+from repro.costmodel import CostModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=150)
+    parser.add_argument("--layers", type=int, default=12)
+    parser.add_argument("--model", default="mnasnet",
+                        choices=["mnasnet", "mobilenet_v2", "resnet50"])
+    args = parser.parse_args()
+
+    layers = get_model(args.model)[: args.layers]
+    cost_model = CostModel()
+
+    rows = []
+    best_per_platform = {}
+    for platform in ("cloud", "iot", "iotx"):
+        row = [platform]
+        for dataflow in ("dla", "eye", "shi"):
+            pipeline = ConfuciuX(
+                layers, objective="latency", dataflow=dataflow,
+                constraint_kind="area", platform=platform, seed=0,
+                cost_model=cost_model)
+            result = pipeline.run(global_epochs=args.epochs,
+                                  finetune_generations=args.epochs // 5)
+            if result.best_cost is None:
+                row.append("NAN")
+            else:
+                row.append(f"{result.best_cost:.2E}")
+                key = best_per_platform.get(platform)
+                if key is None or result.best_cost < key[1]:
+                    best_per_platform[platform] = (dataflow,
+                                                   result.best_cost)
+        rows.append(row)
+
+    print(format_table(
+        ["platform", "NVDLA-style", "Eyeriss-style", "ShiDianNao-style"],
+        rows,
+        title=f"{args.model}: best latency (cycles) per dataflow and "
+              f"budget tier ({len(layers)} layers, {args.epochs} epochs)"))
+    print()
+    for platform, (dataflow, cost) in best_per_platform.items():
+        print(f"  {platform:>6s}: {dataflow} wins at {cost:.2E} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: find an optimized HW resource assignment for MobileNet-V2.
+
+Runs the full two-stage ConfuciuX pipeline -- REINFORCE global search
+followed by local GA fine-tuning -- for an IoT-class area budget, then
+prints the per-layer assignment and the constraint-utilization report.
+
+    python examples/quickstart.py [--epochs N] [--layers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ConfuciuX, get_model
+from repro.core.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=200,
+                        help="global-search epochs (paper: 5000)")
+    parser.add_argument("--layers", type=int, default=16,
+                        help="restrict to the first N layers (0 = all 52)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    layers = get_model("mobilenet_v2")
+    if args.layers:
+        layers = layers[: args.layers]
+
+    print(f"Searching HW assignments for {len(layers)} MobileNet-V2 layers")
+    print("Objective: minimize latency | Constraint: IoT area budget "
+          "(10% of max)")
+
+    pipeline = ConfuciuX(
+        layers,
+        objective="latency",
+        dataflow="dla",            # NVDLA-style weight-stationary
+        constraint_kind="area",
+        platform="iot",
+        seed=args.seed,
+    )
+    result = pipeline.run(global_epochs=args.epochs,
+                          finetune_generations=args.epochs // 4)
+
+    if result.best_cost is None:
+        print("No feasible assignment found; increase --epochs.")
+        return
+
+    impr1, impr2 = result.improvement_fractions()
+    print()
+    print(f"First valid latency : {result.initial_valid_cost:.3E} cycles")
+    print(f"After global search : {result.global_cost:.3E} cycles "
+          f"({100 * impr1:.1f}% better)")
+    print(f"After fine-tuning   : {result.best_cost:.3E} cycles "
+          f"(another {100 * impr2:.1f}%)")
+    print(f"Constraint report   : {result.utilization()}")
+    print()
+
+    rows = [
+        [i + 1, layer.name, layer.layer_type.name, pes, l1]
+        for i, (layer, (pes, l1)) in enumerate(
+            zip(layers, result.best_assignments))
+    ]
+    print(format_table(
+        ["#", "layer", "type", "PEs", "L1 bytes"], rows,
+        title="Optimized per-layer assignment"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Search-method shoot-out on one task (a Table IV / Table V row).
+
+Runs every optimizer and RL algorithm in the repository on the same
+(model, dataflow, constraint) cell with the same evaluation budget and
+reports converged quality, sample efficiency, wall time, and memory.
+
+    python examples/search_method_comparison.py [--epochs N] \
+        [--platform iot] [--methods reinforce,ppo2,ga,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.reporting import format_table
+from repro.experiments import TaskSpec, compare_methods
+
+DEFAULT_METHODS = ["grid", "random", "sa", "ga", "bayesian",
+                   "a2c", "acktr", "ppo2", "ddpg", "sac", "td3",
+                   "reinforce"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--layers", type=int, default=12)
+    parser.add_argument("--model", default="mobilenet_v2")
+    parser.add_argument("--platform", default="iot",
+                        choices=["unlimited", "cloud", "iot", "iotx"])
+    parser.add_argument("--objective", default="latency",
+                        choices=["latency", "energy", "edp"])
+    parser.add_argument("--methods", default=",".join(DEFAULT_METHODS))
+    args = parser.parse_args()
+
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    task = TaskSpec(model=args.model, dataflow="dla",
+                    objective=args.objective, platform=args.platform,
+                    layer_slice=args.layers)
+    print(f"Task: {task.label()} | Eps={args.epochs} per method")
+    results = compare_methods(task, methods, args.epochs, seed=0)
+
+    best_feasible = min((r.best_cost for r in results.values()
+                         if r.best_cost is not None), default=None)
+    rows = []
+    for name in methods:
+        result = results[name]
+        reach = (result.epochs_to_reach(best_feasible * 1.1)
+                 if best_feasible else None)
+        rows.append([
+            name,
+            result.format_cost(),
+            str(reach) if reach is not None else "-",
+            f"{result.evaluations}",
+            f"{result.wall_time_s:.2f}s",
+            f"{result.memory_bytes / 1e6:.2f}MB",
+        ])
+    print(format_table(
+        ["method", f"best {args.objective}", "epochs to within 10% of best",
+         "evaluations", "wall time", "memory"],
+        rows, title="Search-method comparison"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim enabling legacy editable installs in offline environments
+(the sandbox lacks the ``wheel`` package PEP 660 editable builds require)."""
+
+from setuptools import setup
+
+setup()

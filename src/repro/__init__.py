@@ -1,0 +1,74 @@
+"""ConfuciuX reproduction: autonomous HW resource assignment for DNN
+accelerators via reinforcement learning (Kao, Jeong & Krishna, MICRO 2020).
+
+Public API tour::
+
+    from repro import ConfuciuX, get_model
+
+    pipeline = ConfuciuX(get_model("mobilenet_v2"), objective="latency",
+                         dataflow="dla", platform="iot",
+                         constraint_kind="area", seed=0)
+    result = pipeline.run(global_epochs=300, finetune_generations=100)
+    print(result.best_cost, result.utilization())
+
+Subpackages:
+    models      -- DNN workload zoo (layer shapes).
+    costmodel   -- the analytical MAESTRO-substitute estimator.
+    nn          -- numpy autograd + NN substrate.
+    env         -- the RL environment (action space, observation, rewards).
+    rl          -- REINFORCE and the six comparison RL algorithms.
+    optim       -- grid/random/SA/GA/Bayesian baselines.
+    ga          -- stage-2 local fine-tuning GA.
+    core        -- orchestrator, constraints, evaluation, reporting.
+    analysis    -- the critic-capacity study (Fig. 6).
+    experiments -- harness shared by the benchmark suite.
+"""
+
+from repro.models import Layer, LayerType, get_model, list_models
+from repro.costmodel import CostModel, HardwareConfig
+from repro.env import ActionSpace, HWAssignmentEnv
+from repro.core.constraints import (
+    PlatformConstraint,
+    ResourceConstraint,
+    platform_constraint,
+)
+from repro.core.evaluator import DesignPointEvaluator
+from repro.rl import RL_ALGORITHMS, Reinforce
+from repro.optim import BASELINE_OPTIMIZERS
+from repro.ga import LocalGA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Layer",
+    "LayerType",
+    "get_model",
+    "list_models",
+    "CostModel",
+    "HardwareConfig",
+    "ActionSpace",
+    "HWAssignmentEnv",
+    "PlatformConstraint",
+    "ResourceConstraint",
+    "platform_constraint",
+    "DesignPointEvaluator",
+    "Reinforce",
+    "RL_ALGORITHMS",
+    "BASELINE_OPTIMIZERS",
+    "LocalGA",
+    "ConfuciuX",
+    "JointSearch",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy: ConfuciuX / JointSearch would otherwise re-enter repro.core
+    # while it is importing this package.
+    if name == "ConfuciuX":
+        from repro.core.confuciux import ConfuciuX
+        return ConfuciuX
+    if name == "JointSearch":
+        from repro.core.joint import JointSearch
+        return JointSearch
+    raise AttributeError(name)

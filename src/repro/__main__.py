@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    models               List the workload zoo with layer/MAC statistics.
+    evaluate             Run the cost model on a uniform design point.
+    search               Run the full two-stage ConfuciuX pipeline.
+
+Examples::
+
+    python -m repro models
+    python -m repro evaluate --model resnet50 --pes 64 --buffer 99
+    python -m repro search --model mobilenet_v2 --platform iot \
+        --objective latency --epochs 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.reporting import format_table
+from repro.costmodel import CostModel
+from repro.models import get_model, list_models
+from repro.models.layers import summarize
+
+
+def cmd_models(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in list_models():
+        layers = get_model(name)
+        summary = summarize(name, layers)
+        rows.append([
+            name,
+            summary.num_layers,
+            f"{summary.total_macs:.2E}",
+            f"{summary.total_weights:.2E}",
+            ", ".join(f"{k}:{v}"
+                      for k, v in summary.layer_type_counts.items()),
+        ])
+    print(format_table(
+        ["model", "layers", "MACs", "weights", "layer types"], rows,
+        title="Workload zoo"))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    layers = get_model(args.model)
+    cost_model = CostModel()
+    report = cost_model.evaluate_model(
+        layers, [(args.pes, args.buffer)] * len(layers),
+        dataflow=args.dataflow)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["layers", len(layers)],
+            ["latency (cycles)", f"{report.latency_cycles:.3E}"],
+            ["energy (nJ)", f"{report.energy_nj:.3E}"],
+            ["area (um2)", f"{report.area_um2:.3E}"],
+            ["power (mW)", f"{report.power_mw:.3E}"],
+        ],
+        title=f"{args.model} @ uniform (PE={args.pes}, "
+              f"Buf={args.buffer}B), {args.dataflow}-style, LP"))
+    return 0
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.confuciux import ConfuciuX
+
+    layers = get_model(args.model)
+    if args.layers:
+        layers = layers[: args.layers]
+    pipeline = ConfuciuX(
+        layers,
+        objective=args.objective,
+        dataflow=None if args.mix else args.dataflow,
+        mix=args.mix,
+        constraint_kind=args.constraint,
+        platform=args.platform,
+        policy=args.policy,
+        seed=args.seed,
+    )
+    result = pipeline.run(global_epochs=args.epochs,
+                          finetune_generations=args.finetune)
+    if result.best_cost is None:
+        print("No feasible assignment found; increase --epochs.")
+        return 1
+    impr1, impr2 = result.improvement_fractions()
+    print(format_table(
+        ["stage", args.objective, "improvement"],
+        [
+            ["first valid", f"{result.initial_valid_cost:.3E}", "-"],
+            ["global search", f"{result.global_cost:.3E}",
+             f"{100 * impr1:.1f}%" if impr1 is not None else "-"],
+            ["fine-tuned", f"{result.best_cost:.3E}",
+             f"{100 * impr2:.1f}%" if impr2 is not None else "-"],
+        ],
+        title=f"ConfuciuX on {args.model} ({len(layers)} layers), "
+              f"{args.constraint}:{args.platform}"))
+    print()
+    print(result.utilization())
+    rows = []
+    for i, (layer, assignment) in enumerate(zip(layers,
+                                                result.best_assignments)):
+        style = assignment[2] if len(assignment) == 3 else args.dataflow
+        rows.append([i + 1, layer.name, style, assignment[0],
+                     assignment[1]])
+    print()
+    print(format_table(["#", "layer", "dataflow", "PEs", "L1 bytes"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the workload zoo")
+
+    evaluate = sub.add_parser("evaluate",
+                              help="cost-model a uniform design point")
+    evaluate.add_argument("--model", default="mobilenet_v2",
+                          choices=list_models())
+    evaluate.add_argument("--dataflow", default="dla",
+                          choices=["dla", "eye", "shi"])
+    evaluate.add_argument("--pes", type=int, default=16)
+    evaluate.add_argument("--buffer", type=int, default=39)
+
+    search = sub.add_parser("search", help="run the ConfuciuX pipeline")
+    search.add_argument("--model", default="mobilenet_v2",
+                        choices=list_models())
+    search.add_argument("--dataflow", default="dla",
+                        choices=["dla", "eye", "shi"])
+    search.add_argument("--mix", action="store_true",
+                        help="co-search the dataflow per layer")
+    search.add_argument("--objective", default="latency",
+                        choices=["latency", "energy", "edp"])
+    search.add_argument("--constraint", default="area",
+                        choices=["area", "power"])
+    search.add_argument("--platform", default="iot",
+                        choices=["unlimited", "cloud", "iot", "iotx"])
+    search.add_argument("--policy", default="rnn", choices=["rnn", "mlp"])
+    search.add_argument("--epochs", type=int, default=300)
+    search.add_argument("--finetune", type=int, default=100)
+    search.add_argument("--layers", type=int, default=0,
+                        help="restrict to the first N layers (0 = all)")
+    search.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": cmd_models,
+        "evaluate": cmd_evaluate,
+        "search": cmd_search,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

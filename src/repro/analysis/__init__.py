@@ -1,0 +1,5 @@
+"""Standalone analyses supporting the paper's design arguments."""
+
+from repro.analysis.critic_study import CriticStudy, CriticStudyResult
+
+__all__ = ["CriticStudy", "CriticStudyResult"]

@@ -1,0 +1,149 @@
+"""The critic-capacity experiment behind Fig. 6 (Section IV-C3).
+
+Why does actor-only REINFORCE beat the actor-critic family here?  The paper
+extracts the critic network and trains it standalone to regress the reward
+(per-layer latency of MobileNet-V2) from the state, sweeping the training
+set size up to the maximum number of samples a critic could ever see in an
+``Eps = 5000`` run.  The RMSE refuses to converge to a useful value: the
+HW-performance landscape is too discrete and irregular for the critic, and
+a misled critic misguides the policy.
+
+This module reproduces that experiment against our cost model: states are
+(observation, action-pair) encodings, targets the per-layer latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.estimator import CostModel
+from repro.env.observation import ObservationEncoder
+from repro.env.spaces import ActionSpace
+from repro.models.layers import Layer
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.functional import mse_loss
+from repro.nn.modules import MLP
+from repro.nn.optim import Adam
+
+
+@dataclass
+class CriticStudyResult:
+    """Learning curves per dataset size (the Fig. 6 series)."""
+
+    dataset_sizes: List[int]
+    train_rmse: Dict[int, List[float]] = field(default_factory=dict)
+    test_rmse: Dict[int, List[float]] = field(default_factory=dict)
+
+    def final_rmse(self, size: int) -> Tuple[float, float]:
+        """(train, test) RMSE at the last epoch for a dataset size."""
+        return self.train_rmse[size][-1], self.test_rmse[size][-1]
+
+    def best_test_rmse(self) -> float:
+        """The best test RMSE over all sizes (the paper quotes 5.3e4)."""
+        return min(min(curve) for curve in self.test_rmse.values())
+
+
+class CriticStudy:
+    """Train critic MLPs to predict per-layer latency from the state.
+
+    Args:
+        layers: Workload whose per-layer latency is the regression target.
+        dataflow: Style used for evaluation.
+        cost_model: The estimator acting as ground truth.
+        hidden_sizes: Critic architecture (the comparison agents' default).
+        seed: RNG seed.
+    """
+
+    def __init__(self, layers: Sequence[Layer], dataflow: str = "dla",
+                 cost_model: Optional[CostModel] = None,
+                 space: Optional[ActionSpace] = None,
+                 hidden_sizes: Sequence[int] = (64, 64),
+                 seed: Optional[int] = None) -> None:
+        self.layers = list(layers)
+        self.dataflow = dataflow
+        self.cost_model = cost_model or CostModel()
+        self.space = space or ActionSpace.build(dataflow)
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.rng = np.random.default_rng(seed)
+        self.encoder = ObservationEncoder.for_model(self.layers, self.space)
+
+    # ------------------------------------------------------------------
+    def generate_dataset(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Random (state, reward) pairs: state = observation plus the
+        normalized action pair, reward = that layer's latency."""
+        n_levels = self.space.num_levels
+        features = np.zeros((size, 12))
+        targets = np.zeros(size)
+        for i in range(size):
+            layer_index = int(self.rng.integers(len(self.layers)))
+            pe_idx = int(self.rng.integers(n_levels))
+            buf_idx = int(self.rng.integers(n_levels))
+            layer = self.layers[layer_index]
+            observation = self.encoder.encode(layer, layer_index, None)
+            action_enc = (
+                2.0 * np.array([pe_idx, buf_idx]) / (n_levels - 1) - 1.0)
+            features[i] = np.concatenate([observation, action_enc])
+            pes, l1 = self.space.pe_levels[pe_idx], \
+                self.space.buf_levels[buf_idx]
+            report = self.cost_model.evaluate_layer(
+                layer, self.dataflow, pes, l1)
+            targets[i] = report.latency_cycles
+        return features, targets
+
+    def train_critic(self, features: np.ndarray, targets: np.ndarray,
+                     epochs: int, batch_size: int = 256,
+                     lr: float = 1e-3, test_fraction: float = 0.2,
+                     ) -> Tuple[List[float], List[float]]:
+        """Train one critic; returns (train RMSE, test RMSE) per epoch."""
+        count = len(targets)
+        split = max(1, int(count * (1.0 - test_fraction)))
+        order = self.rng.permutation(count)
+        train_idx, test_idx = order[:split], order[split:]
+        critic = MLP([features.shape[1], *self.hidden_sizes, 1],
+                     activation="relu", rng=self.rng)
+        optimizer = Adam(critic.parameters(), lr=lr)
+        # Standardize targets for optimization; report RMSE in cycles.
+        mean, std = targets[train_idx].mean(), targets[train_idx].std() + 1e-9
+        train_curve: List[float] = []
+        test_curve: List[float] = []
+        for _ in range(epochs):
+            batch = self.rng.choice(train_idx,
+                                    size=min(batch_size, len(train_idx)),
+                                    replace=False)
+            prediction = critic(Tensor(features[batch])).reshape(len(batch))
+            loss = mse_loss(prediction,
+                            Tensor((targets[batch] - mean) / std))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            train_curve.append(self._rmse(critic, features[train_idx],
+                                          targets[train_idx], mean, std))
+            test_curve.append(self._rmse(critic, features[test_idx],
+                                         targets[test_idx], mean, std))
+        return train_curve, test_curve
+
+    @staticmethod
+    def _rmse(critic: MLP, features: np.ndarray, targets: np.ndarray,
+              mean: float, std: float) -> float:
+        if len(targets) == 0:
+            return float("nan")
+        with no_grad():
+            prediction = critic(Tensor(features)).numpy().reshape(-1)
+        prediction = prediction * std + mean
+        return float(np.sqrt(np.mean((prediction - targets) ** 2)))
+
+    # ------------------------------------------------------------------
+    def run(self, dataset_sizes: Sequence[int],
+            epochs: int = 200) -> CriticStudyResult:
+        """The full Fig. 6 sweep."""
+        result = CriticStudyResult(dataset_sizes=list(dataset_sizes))
+        for size in dataset_sizes:
+            features, targets = self.generate_dataset(size)
+            train_curve, test_curve = self.train_critic(
+                features, targets, epochs=epochs)
+            result.train_rmse[size] = train_curve
+            result.test_rmse[size] = test_curve
+        return result

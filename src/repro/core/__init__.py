@@ -1,0 +1,50 @@
+"""The ConfuciuX orchestrator: two-stage search and its task plumbing.
+
+``repro.env`` imports the constraint/evaluator modules in this package, and
+the orchestrator in turn drives ``repro.env`` -- so the heavyweight exports
+are resolved lazily (PEP 562) to keep the import graph acyclic.
+"""
+
+from repro.core.constraints import (
+    PLATFORM_FRACTIONS,
+    PlatformConstraint,
+    ResourceConstraint,
+    measure_max_consumption,
+    platform_constraint,
+)
+from repro.core.evaluator import DesignPointEvaluator, EvalResult
+
+__all__ = [
+    "PLATFORM_FRACTIONS",
+    "PlatformConstraint",
+    "ResourceConstraint",
+    "measure_max_consumption",
+    "platform_constraint",
+    "DesignPointEvaluator",
+    "EvalResult",
+    "ConfuciuX",
+    "ConfuciuXResult",
+    "JointSearch",
+    "dataflow_assignment_table",
+    "solution_report",
+]
+
+_LAZY = {
+    "ConfuciuX": ("repro.core.confuciux", "ConfuciuX"),
+    "ConfuciuXResult": ("repro.core.confuciux", "ConfuciuXResult"),
+    "JointSearch": ("repro.core.joint", "JointSearch"),
+    "dataflow_assignment_table": ("repro.core.joint",
+                                  "dataflow_assignment_table"),
+    "solution_report": ("repro.core.reporting", "solution_report"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)

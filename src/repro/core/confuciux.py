@@ -1,0 +1,200 @@
+"""The two-stage ConfuciuX pipeline (paper Figure 3).
+
+Stage 1 trains a REINFORCE agent over the coarse Table-I action levels
+(global search); stage 2 seeds the local GA with the stage-1 solution and
+polishes it in the raw integer space (local fine-tuning).  The result
+carries everything the paper reports: the first feasible value, the
+converged global value, the fine-tuned value, the convergence traces
+(Fig. 7 / Fig. 9), and the constraint-utilization report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.constraints import (
+    PlatformConstraint,
+    ResourceConstraint,
+    platform_constraint,
+)
+from repro.core.evaluator import Constraint, DesignPointEvaluator
+from repro.costmodel.estimator import CostModel
+from repro.costmodel.report import UtilizationReport
+from repro.env.environment import HWAssignmentEnv
+from repro.env.spaces import ActionSpace
+from repro.ga.local_ga import LocalGA
+from repro.models.layers import Layer
+from repro.rl.common import SearchResult
+from repro.rl.reinforce import Reinforce
+
+
+@dataclass
+class ConfuciuXResult:
+    """Everything ConfuciuX reports for one task."""
+
+    objective: str
+    constraint: Constraint
+    global_result: SearchResult
+    finetune_result: Optional[SearchResult]
+
+    @property
+    def initial_valid_cost(self) -> Optional[float]:
+        """The first feasible value the global stage found (Table VII)."""
+        for value in self.global_result.history:
+            if value != float("inf"):
+                return value
+        return None
+
+    @property
+    def global_cost(self) -> Optional[float]:
+        return self.global_result.best_cost
+
+    @property
+    def best_cost(self) -> Optional[float]:
+        if self.finetune_result and self.finetune_result.best_cost is not None:
+            return self.finetune_result.best_cost
+        return self.global_cost
+
+    @property
+    def best_assignments(self) -> Optional[Tuple]:
+        if (self.finetune_result
+                and self.finetune_result.best_assignments is not None):
+            return self.finetune_result.best_assignments
+        return self.global_result.best_assignments
+
+    @property
+    def trace(self) -> List[float]:
+        """Best-so-far cost per epoch across both stages (Fig. 9)."""
+        combined = list(self.global_result.history)
+        if self.finetune_result:
+            floor = combined[-1] if combined else float("inf")
+            for value in self.finetune_result.history:
+                floor = min(floor, value)
+                combined.append(floor)
+        return combined
+
+    def improvement_fractions(self) -> Tuple[Optional[float], Optional[float]]:
+        """(stage-1 improvement over first valid, stage-2 over stage-1),
+        the two "Impr. (%)" columns of Table VII, as fractions."""
+        first = self.initial_valid_cost
+        stage1 = self.global_cost
+        stage2 = (self.finetune_result.best_cost
+                  if self.finetune_result else None)
+        impr1 = None if (first is None or stage1 is None or first == 0) \
+            else (first - stage1) / first
+        impr2 = None if (stage1 is None or stage2 is None or stage1 == 0) \
+            else (stage1 - stage2) / stage1
+        return impr1, impr2
+
+    def utilization(self) -> Optional[UtilizationReport]:
+        """Constraint-utilization report for the final solution."""
+        if self.best_cost is None:
+            return None
+        used = self._final_used
+        budget = (self.constraint.budget
+                  if isinstance(self.constraint, PlatformConstraint)
+                  else float(self.constraint.max_pes))
+        return UtilizationReport(constraint=self.constraint.kind,
+                                 budget=budget, used=used)
+
+    _final_used: float = field(default=0.0, repr=False)
+
+
+class ConfuciuX:
+    """End-to-end autonomous HW resource assignment.
+
+    Args:
+        layers: Target DNN model.
+        objective: "latency" | "energy" | "edp" (minimized).
+        constraint: A prebuilt constraint, or None to derive one from
+            ``platform``/``constraint_kind`` per Table II.
+        dataflow: Fixed style, or None with ``mix=True`` for co-automation.
+        mix: Let the agent pick a dataflow per layer (Section IV-D).
+        num_levels: Action levels L (Table IX sweeps 10/12/14).
+        policy: "rnn" (paper) or "mlp" (ablation).
+        constraint_kind / platform: Used when ``constraint`` is None.
+        cost_model: Shared estimator (a fresh one is built if omitted).
+        seed: Master RNG seed for both stages.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        objective: str = "latency",
+        constraint: Optional[Constraint] = None,
+        dataflow: Optional[str] = "dla",
+        mix: bool = False,
+        num_levels: int = 12,
+        max_pes: int = 128,
+        policy: str = "rnn",
+        constraint_kind: str = "area",
+        platform: str = "iot",
+        cost_model: Optional[CostModel] = None,
+        seed: Optional[int] = None,
+        reinforce_kwargs: Optional[dict] = None,
+        ga_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.layers = list(layers)
+        self.objective = objective
+        self.cost_model = cost_model or CostModel()
+        self.space = ActionSpace.build(
+            dataflow=dataflow or "dla", num_levels=num_levels,
+            max_pes=max_pes, mix=mix)
+        self.dataflow = None if mix else dataflow
+        if constraint is None:
+            constraint = platform_constraint(
+                self.layers, dataflow or "dla", constraint_kind, platform,
+                self.cost_model, ActionSpace.build(dataflow or "dla",
+                                                   num_levels, max_pes))
+        self.constraint = constraint
+        self.seed = seed
+        self.policy = policy
+        self.reinforce_kwargs = dict(reinforce_kwargs or {})
+        self.ga_kwargs = dict(ga_kwargs or {})
+        self.env = HWAssignmentEnv(
+            self.layers, self.space, objective, constraint, self.cost_model,
+            dataflow=self.dataflow)
+
+    # ------------------------------------------------------------------
+    def run(self, global_epochs: int = 500,
+            finetune_generations: int = 200) -> ConfuciuXResult:
+        """Run both stages; set ``finetune_generations=0`` to skip stage 2."""
+        agent = Reinforce(policy=self.policy, seed=self.seed,
+                          **self.reinforce_kwargs)
+        global_result = agent.search(self.env, global_epochs)
+
+        finetune_result = None
+        if finetune_generations > 0 and global_result.best_cost is not None:
+            finetune_result = self._finetune(global_result,
+                                             finetune_generations)
+
+        result = ConfuciuXResult(
+            objective=self.objective,
+            constraint=self.constraint,
+            global_result=global_result,
+            finetune_result=finetune_result,
+        )
+        result._final_used = self._used_of_best(result)
+        return result
+
+    def _finetune(self, global_result: SearchResult,
+                  generations: int) -> SearchResult:
+        evaluator = DesignPointEvaluator(
+            self.layers, self.objective, self.constraint, self.cost_model,
+            self.space, dataflow=self.dataflow)
+        max_l1 = 2 * max(self.space.buf_levels)
+        max_pes = max(self.space.pe_levels)
+        ga = LocalGA(seed=self.seed, max_pes=max_pes, max_l1_bytes=max_l1,
+                     **self.ga_kwargs)
+        return ga.search(evaluator, global_result.best_assignments,
+                         generations)
+
+    def _used_of_best(self, result: ConfuciuXResult) -> float:
+        assignments = result.best_assignments
+        if assignments is None:
+            return 0.0
+        evaluator = DesignPointEvaluator(
+            self.layers, self.objective, self.constraint, self.cost_model,
+            self.space, dataflow=self.dataflow)
+        return evaluator.evaluate_raw(assignments).used

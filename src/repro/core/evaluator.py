@@ -1,0 +1,152 @@
+"""Whole-design-point evaluation shared by every search method.
+
+The RL environment steps layer by layer, but the baseline optimizers (grid /
+random / SA / GA / Bayesian) and the stage-2 GA treat a complete per-layer
+assignment -- a *genome* -- as one sample.  ``DesignPointEvaluator`` turns a
+genome into (objective value, feasibility, report) under a platform or
+resource constraint, counting evaluations so sample efficiency can be
+compared across methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.constraints import PlatformConstraint, ResourceConstraint
+from repro.costmodel.estimator import CostModel
+from repro.costmodel.report import ModelCostReport, UtilizationReport
+from repro.env.spaces import ActionSpace
+from repro.models.layers import Layer
+
+Constraint = Union[PlatformConstraint, ResourceConstraint]
+
+#: A raw per-layer assignment: (pes, l1_bytes) or (pes, l1_bytes, style).
+RawAssignment = Tuple
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Outcome of evaluating one complete design point."""
+
+    cost: float
+    feasible: bool
+    used: float
+    report: ModelCostReport
+
+    def utilization(self, constraint: Constraint) -> UtilizationReport:
+        budget = (constraint.budget
+                  if isinstance(constraint, PlatformConstraint)
+                  else float(constraint.max_pes))
+        return UtilizationReport(constraint=constraint.kind, budget=budget,
+                                 used=self.used)
+
+
+class DesignPointEvaluator:
+    """Evaluate complete genomes for a (model, objective, constraint) task.
+
+    Args:
+        layers: Target model.
+        objective: "latency" | "energy" | "edp" (minimized).
+        constraint: Platform (area/power) or resource (FPGA) budget.
+        cost_model: The analytical estimator.
+        space: Action space for level-indexed genomes.
+        dataflow: Default style when assignments carry none.
+        deployment: "lp" (per-layer partitions) or "ls" (one shared point).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        objective: str,
+        constraint: Constraint,
+        cost_model: CostModel,
+        space: ActionSpace,
+        dataflow: Optional[str] = None,
+        deployment: str = "lp",
+    ) -> None:
+        if deployment not in ("lp", "ls"):
+            raise ValueError("deployment must be 'lp' or 'ls'")
+        if space.is_mix and dataflow is None:
+            dataflow = space.dataflows[0]
+        if not space.is_mix and dataflow is None:
+            raise ValueError("a dataflow is required for non-MIX spaces")
+        self.layers = list(layers)
+        self.objective = objective
+        self.constraint = constraint
+        self.cost_model = cost_model
+        self.space = space
+        self.dataflow = dataflow
+        self.deployment = deployment
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def genome_length(self) -> int:
+        """Genes per genome: 2N, or 3N under MIX (Section III-G)."""
+        return len(self.layers) * self.space.actions_per_step
+
+    def decode_genome(self, genome: Sequence[int]) -> List[RawAssignment]:
+        """Level-index genome -> raw per-layer assignments."""
+        per_step = self.space.actions_per_step
+        if len(genome) != self.genome_length:
+            raise ValueError(
+                f"genome length {len(genome)} != expected "
+                f"{self.genome_length}"
+            )
+        assignments: List[RawAssignment] = []
+        for i in range(len(self.layers)):
+            chunk = genome[i * per_step:(i + 1) * per_step]
+            assignments.append(self.space.decode(chunk))
+        return assignments
+
+    # ------------------------------------------------------------------
+    def evaluate_genome(self, genome: Sequence[int]) -> EvalResult:
+        """Evaluate a level-indexed genome."""
+        return self.evaluate_raw(self.decode_genome(genome))
+
+    def evaluate_raw(
+        self, assignments: Sequence[RawAssignment]
+    ) -> EvalResult:
+        """Evaluate raw (pes, l1_bytes[, style]) per-layer assignments."""
+        self.evaluations += 1
+        if self.deployment == "ls":
+            pes, l1_bytes = assignments[0][0], assignments[0][1]
+            style = (assignments[0][2] if len(assignments[0]) == 3
+                     else self.dataflow)
+            report = self.cost_model.evaluate_model_ls(
+                self.layers, pes, l1_bytes, style)
+        else:
+            report = self.cost_model.evaluate_model(
+                self.layers, assignments, dataflow=self.dataflow)
+        used, feasible = self._check(report, assignments)
+        return EvalResult(
+            cost=report.objective(self.objective),
+            feasible=feasible,
+            used=used,
+            report=report,
+        )
+
+    def _check(self, report: ModelCostReport,
+               assignments: Sequence[RawAssignment]) -> Tuple[float, bool]:
+        constraint = self.constraint
+        if isinstance(constraint, ResourceConstraint):
+            if self.deployment == "ls":
+                total_pes = assignments[0][0]
+                total_l1 = assignments[0][0] * assignments[0][1]
+            else:
+                total_pes = sum(a[0] for a in assignments)
+                total_l1 = sum(a[0] * a[1] for a in assignments)
+            feasible = (total_pes <= constraint.max_pes
+                        and total_l1 <= constraint.max_l1_bytes)
+            return float(total_pes), feasible
+        used = report.constraint(constraint.kind)
+        return used, used <= constraint.budget
+
+    # ------------------------------------------------------------------
+    def uniform_genome(self, pe_idx: int, buf_idx: int) -> List[int]:
+        """A genome assigning the same levels to every layer (baselines)."""
+        step: List[int] = [pe_idx, buf_idx]
+        if self.space.is_mix:
+            step.append(0)
+        return step * len(self.layers)

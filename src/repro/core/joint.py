@@ -1,0 +1,86 @@
+"""Dataflow-HW co-automation: the MIX strategy (paper Section IV-D).
+
+Rather than fixing one dataflow style, the agent makes three decisions per
+layer -- PEs, Buffers, *and* style.  ``JointSearch`` wraps ConfuciuX with
+the MIX action space and exposes the per-layer style assignment that Fig. 8
+visualizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.confuciux import ConfuciuX, ConfuciuXResult
+from repro.core.evaluator import Constraint
+from repro.costmodel.estimator import CostModel
+from repro.models.layers import Layer
+
+#: Single-letter labels used under Fig. 8's x-axis.
+STYLE_LETTERS = {"dla": "D", "shi": "S", "eye": "E"}
+
+
+class JointSearch:
+    """Con'X-MIX: joint per-layer dataflow and resource assignment."""
+
+    def __init__(self, layers: Sequence[Layer], objective: str = "latency",
+                 constraint: Optional[Constraint] = None,
+                 constraint_kind: str = "area", platform: str = "iot",
+                 num_levels: int = 12, max_pes: int = 128,
+                 cost_model: Optional[CostModel] = None,
+                 seed: Optional[int] = None, **confuciux_kwargs) -> None:
+        self.pipeline = ConfuciuX(
+            layers,
+            objective=objective,
+            constraint=constraint,
+            dataflow=None,
+            mix=True,
+            num_levels=num_levels,
+            max_pes=max_pes,
+            constraint_kind=constraint_kind,
+            platform=platform,
+            cost_model=cost_model,
+            seed=seed,
+            **confuciux_kwargs,
+        )
+
+    def run(self, global_epochs: int = 500,
+            finetune_generations: int = 200) -> ConfuciuXResult:
+        return self.pipeline.run(global_epochs, finetune_generations)
+
+
+def dataflow_assignment_table(
+    result: ConfuciuXResult, layers: Sequence[Layer]
+) -> List[Dict]:
+    """Per-layer rows of Fig. 8: layer number, style letter, PEs, Buffers.
+
+    Raises:
+        ValueError: if the result has no feasible solution or was not
+            produced by a MIX search (assignments carry no style).
+    """
+    assignments = result.best_assignments
+    if assignments is None:
+        raise ValueError("result has no feasible solution")
+    rows: List[Dict] = []
+    for index, (layer, assignment) in enumerate(zip(layers, assignments),
+                                                start=1):
+        if len(assignment) != 3:
+            raise ValueError("not a MIX result: assignment lacks a style")
+        pes, l1_bytes, style = assignment
+        rows.append({
+            "layer": index,
+            "name": layer.name,
+            "type": layer.layer_type.name,
+            "style": style,
+            "letter": STYLE_LETTERS.get(style, "?"),
+            "pes": pes,
+            "l1_bytes": l1_bytes,
+        })
+    return rows
+
+
+def style_histogram(rows: Sequence[Dict]) -> Dict[str, int]:
+    """How many layers chose each style (summary used by tests/benches)."""
+    counts: Dict[str, int] = {}
+    for row in rows:
+        counts[row["style"]] = counts.get(row["style"], 0) + 1
+    return counts

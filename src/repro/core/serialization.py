@@ -1,0 +1,102 @@
+"""JSON (de)serialization for search results and solutions.
+
+A downstream user wants to run a long search once and keep the outcome:
+the winning per-layer assignment, the convergence trace, and enough
+metadata to reproduce the run.  These helpers produce plain-JSON documents
+(no pickling) for :class:`SearchResult` and the two-stage
+:class:`ConfuciuXResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.rl.common import SearchResult
+
+
+def _encode_history(history):
+    return [None if value == float("inf") else value for value in history]
+
+
+def _decode_history(history):
+    return [float("inf") if value is None else value for value in history]
+
+
+def search_result_to_dict(result: SearchResult) -> dict:
+    """A JSON-safe dict capturing everything a table needs."""
+    return {
+        "algorithm": result.algorithm,
+        "best_cost": result.best_cost,
+        "best_assignments": (
+            [list(a) for a in result.best_assignments]
+            if result.best_assignments is not None else None),
+        "best_genome": result.best_genome,
+        "history": _encode_history(result.history),
+        "evaluations": result.evaluations,
+        "episodes": result.episodes,
+        "wall_time_s": result.wall_time_s,
+        "memory_bytes": result.memory_bytes,
+    }
+
+
+def search_result_from_dict(data: dict) -> SearchResult:
+    """Inverse of :func:`search_result_to_dict`.
+
+    Raises:
+        KeyError: if a required field is missing.
+    """
+    result = SearchResult(algorithm=data["algorithm"])
+    result.best_cost = data["best_cost"]
+    assignments = data["best_assignments"]
+    result.best_assignments = (
+        tuple(tuple(a) for a in assignments)
+        if assignments is not None else None)
+    result.best_genome = data["best_genome"]
+    result.history = _decode_history(data["history"])
+    result.evaluations = data["evaluations"]
+    result.episodes = data["episodes"]
+    result.wall_time_s = data["wall_time_s"]
+    result.memory_bytes = data["memory_bytes"]
+    return result
+
+
+def save_search_result(result: SearchResult, path) -> None:
+    """Write a search result to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(search_result_to_dict(result), handle, indent=2)
+
+
+def load_search_result(path) -> SearchResult:
+    """Read a search result previously written by
+    :func:`save_search_result`."""
+    with open(path) as handle:
+        return search_result_from_dict(json.load(handle))
+
+
+def confuciux_result_to_dict(result) -> dict:
+    """Serialize a two-stage :class:`ConfuciuXResult` summary."""
+    return {
+        "objective": result.objective,
+        "constraint": {
+            "kind": result.constraint.kind,
+            "platform": result.constraint.platform,
+            "budget": getattr(result.constraint, "budget", None),
+        },
+        "initial_valid_cost": result.initial_valid_cost,
+        "global_cost": result.global_cost,
+        "best_cost": result.best_cost,
+        "best_assignments": (
+            [list(a) for a in result.best_assignments]
+            if result.best_assignments is not None else None),
+        "global_result": search_result_to_dict(result.global_result),
+        "finetune_result": (
+            search_result_to_dict(result.finetune_result)
+            if result.finetune_result is not None else None),
+    }
+
+
+def save_confuciux_result(result, path) -> None:
+    """Write a two-stage result summary to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(confuciux_result_to_dict(result), handle, indent=2)

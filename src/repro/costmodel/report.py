@@ -1,0 +1,130 @@
+"""Result records produced by the cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Per-layer estimate for one design point.
+
+    All figures of merit the paper's environment consumes, plus the
+    intermediate quantities the breakdown figures (Fig. 10) need.
+    """
+
+    latency_cycles: float
+    energy_nj: float
+    area_um2: float
+    power_mw: float
+    pes_used: int
+    pe_utilization: float
+    l1_bytes_per_pe: int
+    l2_bytes: int
+    tile_k: int
+    macs: int
+    dram_bytes: float
+    l2_traffic_bytes: float
+    compute_cycles: float
+    memory_cycles: float
+    pe_area_um2: float
+    l1_area_um2: float
+    l2_area_um2: float
+    noc_area_um2: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (an alternative objective, Section III-D)."""
+        return self.energy_nj * self.latency_cycles
+
+    def objective(self, name: str) -> float:
+        """Look up an optimization objective by name."""
+        table = {
+            "latency": self.latency_cycles,
+            "energy": self.energy_nj,
+            "edp": self.edp,
+        }
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown objective {name!r}; available: {', '.join(table)}"
+            ) from None
+
+    def constraint(self, name: str) -> float:
+        """Look up a platform-constraint quantity by name."""
+        table = {"area": self.area_um2, "power": self.power_mw}
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown constraint {name!r}; available: {', '.join(table)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ModelCostReport:
+    """Whole-model estimate: the sum over per-layer partitions (LP) or the
+    layer-by-layer run of a single design point (LS)."""
+
+    latency_cycles: float
+    energy_nj: float
+    area_um2: float
+    power_mw: float
+    per_layer: List[CostReport] = field(default_factory=list)
+
+    @property
+    def edp(self) -> float:
+        return self.energy_nj * self.latency_cycles
+
+    def objective(self, name: str) -> float:
+        table = {
+            "latency": self.latency_cycles,
+            "energy": self.energy_nj,
+            "edp": self.edp,
+        }
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown objective {name!r}; available: {', '.join(table)}"
+            ) from None
+
+    def constraint(self, name: str) -> float:
+        table = {"area": self.area_um2, "power": self.power_mw}
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown constraint {name!r}; available: {', '.join(table)}"
+            ) from None
+
+    def area_breakdown(self) -> Dict[str, float]:
+        """Aggregate PE / L1 / L2 / NoC area split (Fig. 10 pie chart)."""
+        totals = {"pe": 0.0, "l1": 0.0, "l2": 0.0, "noc": 0.0}
+        for report in self.per_layer:
+            totals["pe"] += report.pe_area_um2
+            totals["l1"] += report.l1_area_um2
+            totals["l2"] += report.l2_area_um2
+            totals["noc"] += report.noc_area_um2
+        return totals
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Constraint-utilization summary ConfuciuX emits with its solution."""
+
+    constraint: str
+    budget: float
+    used: float
+
+    @property
+    def fraction(self) -> float:
+        return self.used / self.budget if self.budget > 0 else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.constraint}: used {self.used:.3e} of {self.budget:.3e} "
+            f"({100 * self.fraction:.1f}%)"
+        )

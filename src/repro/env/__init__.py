@@ -1,0 +1,21 @@
+"""The interactive environment the RL agents search in (paper Section III).
+
+``HWAssignmentEnv`` walks a DNN model layer by layer; at each time step the
+agent picks a coarse-grained (PE, Buffer) action pair -- plus a dataflow
+style under the MIX strategy -- and receives a shaped reward from the cost
+model, with constraint violations penalized by the negated accumulated
+episode reward (equation 2).
+"""
+
+from repro.env.spaces import ActionSpace, canonical_pe_levels
+from repro.env.observation import ObservationEncoder, OBSERVATION_DIM
+from repro.env.environment import EpisodeResult, HWAssignmentEnv
+
+__all__ = [
+    "ActionSpace",
+    "canonical_pe_levels",
+    "ObservationEncoder",
+    "OBSERVATION_DIM",
+    "HWAssignmentEnv",
+    "EpisodeResult",
+]

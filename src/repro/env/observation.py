@@ -1,0 +1,76 @@
+"""The 10-dimensional observation of equation (1), normalized to [-1, 1].
+
+    O_t = (K, C, Y, X, R, S, T, A_pe, A_buf, t)
+
+The first seven dimensions describe the current layer's shape and type, the
+next two echo the previous time step's actions (so even an MLP policy sees
+its own budget-relevant history), and the last is the time-step index.
+Normalization scales are derived from the target model so every dimension
+lands in [-1, 1], which the paper notes stabilizes training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.spaces import ActionSpace
+from repro.models.layers import Layer, LayerType
+
+#: Dimensionality of the observation vector (equation 1).
+OBSERVATION_DIM = 10
+
+
+@dataclass(frozen=True)
+class ObservationEncoder:
+    """Encodes (layer, previous action, time step) into the agent's input."""
+
+    scales: np.ndarray          # per-dimension maxima for the shape dims
+    num_steps: int              # episode length (layers in the model)
+    space: ActionSpace
+
+    @classmethod
+    def for_model(cls, layers: Sequence[Layer],
+                  space: ActionSpace) -> "ObservationEncoder":
+        if not layers:
+            raise ValueError("model has no layers")
+        scales = np.array(
+            [
+                max(layer.K for layer in layers),
+                max(layer.C for layer in layers),
+                max(layer.Y for layer in layers),
+                max(layer.X for layer in layers),
+                max(layer.R for layer in layers),
+                max(layer.S for layer in layers),
+                max(len(LayerType) - 1, 1),
+            ],
+            dtype=np.float64,
+        )
+        return cls(scales=scales, num_steps=len(layers), space=space)
+
+    def encode(self, layer: Layer, step: int,
+               prev_action: Optional[Sequence[int]]) -> np.ndarray:
+        """Build O_t.  ``prev_action`` is the previous step's level indices
+        (None at t=0, encoded as -1 on both action dimensions)."""
+        shape = np.array(
+            [layer.K, layer.C, layer.Y, layer.X, layer.R, layer.S,
+             float(layer.layer_type)],
+            dtype=np.float64,
+        )
+        shape = 2.0 * shape / self.scales - 1.0
+        top = max(self.space.num_levels - 1, 1)
+        if prev_action is None:
+            acted = np.array([-1.0, -1.0])
+        else:
+            acted = 2.0 * np.array(prev_action[:2], dtype=np.float64) / top \
+                - 1.0
+        t_norm = 2.0 * step / max(self.num_steps - 1, 1) - 1.0
+        observation = np.concatenate([shape, acted, [t_norm]])
+        return np.clip(observation, -1.0, 1.0)
+
+    def encode_all(self, layers: Sequence[Layer]) -> List[np.ndarray]:
+        """Shape-only encodings for every layer (used by the critic study,
+        which regresses rewards from states without an action history)."""
+        return [self.encode(layer, i, None) for i, layer in enumerate(layers)]

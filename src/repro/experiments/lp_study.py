@@ -1,0 +1,47 @@
+"""LP-deployment comparison rows (Tables III and IV).
+
+Thin wrappers over :func:`repro.experiments.runner.compare_methods` that
+produce the paper's row format: the converged objective value per method,
+"NAN" when a method never found a feasible point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.costmodel.estimator import CostModel
+from repro.experiments.runner import compare_methods
+from repro.experiments.tasks import TaskSpec
+from repro.rl.common import SearchResult
+
+#: The Table III column methods.
+TABLE3_METHODS = ("ga", "ppo2", "reinforce")
+#: The Table IV column methods.
+TABLE4_METHODS = ("grid", "random", "sa", "ga", "bayesian", "reinforce")
+#: The Table V column methods.
+TABLE5_METHODS = ("a2c", "acktr", "ppo2", "ddpg", "sac", "td3", "reinforce")
+
+
+def run_row(task: TaskSpec, methods: Iterable[str], epochs: int,
+            seed: int = 0, cost_model: Optional[CostModel] = None
+            ) -> Dict[str, SearchResult]:
+    """One table row: every method on one task cell."""
+    return compare_methods(task, methods, epochs, seed=seed,
+                           cost_model=cost_model)
+
+
+def format_row(label: str, results: Dict[str, SearchResult],
+               methods: Sequence[str]) -> List[str]:
+    """Row cells in method order, formatted like the paper's tables."""
+    return [label] + [results[m].format_cost() for m in methods]
+
+
+def winners(results: Dict[str, SearchResult]) -> List[str]:
+    """Methods achieving the best (lowest) feasible cost in a row."""
+    feasible = {name: r.best_cost for name, r in results.items()
+                if r.best_cost is not None}
+    if not feasible:
+        return []
+    best = min(feasible.values())
+    return [name for name, cost in feasible.items()
+            if cost <= best * (1.0 + 1e-9)]

@@ -1,0 +1,113 @@
+"""Per-layer study for the LS deployment (paper Section IV-B, Fig. 5).
+
+For Layer Sequential deployment one design point serves every layer, so the
+study has three parts:
+
+* exhaustive 12x12 contours of latency/energy over the action pairs for
+  individual layers (the heatmaps of Fig. 5),
+* the two common heuristics the paper contrasts -- A: configure for the
+  most compute-intensive layer; B: the uniform pair that best optimizes the
+  end-to-end model, and
+* per-layer optimal pairs, showing no single pair suits all layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.estimator import CostModel
+from repro.env.spaces import ActionSpace
+from repro.models.layers import Layer
+
+
+def layer_contour(layer: Layer, dataflow: str, objective: str,
+                  cost_model: CostModel,
+                  space: ActionSpace) -> np.ndarray:
+    """Exhaustive (PE level, Buffer level) objective grid for one layer."""
+    grid = np.zeros((space.num_levels, space.num_levels))
+    for pe_idx, pes in enumerate(space.pe_levels):
+        for buf_idx, l1_bytes in enumerate(space.buf_levels):
+            report = cost_model.evaluate_layer(layer, dataflow, pes,
+                                               l1_bytes)
+            grid[pe_idx, buf_idx] = report.objective(objective)
+    return grid
+
+
+def best_action_pair(grid: np.ndarray) -> Tuple[int, int, float]:
+    """(pe level index, buffer level index, value) of the grid minimum."""
+    flat = int(np.argmin(grid))
+    pe_idx, buf_idx = divmod(flat, grid.shape[1])
+    return pe_idx, buf_idx, float(grid[pe_idx, buf_idx])
+
+
+def plateau_fraction(grid: np.ndarray, tolerance: float = 0.01) -> float:
+    """Fraction of pairs within ``tolerance`` of their row minimum -- a
+    measure of the over-provisioning plateaus visible in Fig. 5."""
+    minima = grid.min(axis=1, keepdims=True)
+    flat = np.abs(grid - minima) <= tolerance * minima
+    return float(flat.mean())
+
+
+def most_compute_intensive(layers: Sequence[Layer]) -> int:
+    """Index of the layer with the most MACs (Heuristic A's anchor)."""
+    return int(np.argmax([layer.macs for layer in layers]))
+
+
+def uniform_cost(layers: Sequence[Layer], dataflow: str, objective: str,
+                 cost_model: CostModel, pes: int, l1_bytes: int) -> float:
+    """End-to-end LS cost of one shared design point."""
+    report = cost_model.evaluate_model_ls(layers, pes, l1_bytes, dataflow)
+    return report.objective(objective)
+
+
+@dataclass(frozen=True)
+class HeuristicOutcome:
+    """A heuristic's chosen pair and its end-to-end cost."""
+
+    pe_idx: int
+    buf_idx: int
+    pes: int
+    l1_bytes: int
+    end_to_end_cost: float
+
+
+def heuristic_a(layers: Sequence[Layer], dataflow: str, objective: str,
+                cost_model: CostModel,
+                space: ActionSpace) -> HeuristicOutcome:
+    """Heuristic A: size for the most compute-intensive layer."""
+    anchor = layers[most_compute_intensive(layers)]
+    grid = layer_contour(anchor, dataflow, objective, cost_model, space)
+    pe_idx, buf_idx, _ = best_action_pair(grid)
+    pes, l1_bytes = space.pe_levels[pe_idx], space.buf_levels[buf_idx]
+    cost = uniform_cost(layers, dataflow, objective, cost_model, pes,
+                        l1_bytes)
+    return HeuristicOutcome(pe_idx, buf_idx, pes, l1_bytes, cost)
+
+
+def heuristic_b(layers: Sequence[Layer], dataflow: str, objective: str,
+                cost_model: CostModel,
+                space: ActionSpace) -> HeuristicOutcome:
+    """Heuristic B: the uniform pair minimizing end-to-end cost
+    (exhaustive over the L^2 uniform configurations)."""
+    best: Optional[HeuristicOutcome] = None
+    for pe_idx, pes in enumerate(space.pe_levels):
+        for buf_idx, l1_bytes in enumerate(space.buf_levels):
+            cost = uniform_cost(layers, dataflow, objective, cost_model,
+                                pes, l1_bytes)
+            if best is None or cost < best.end_to_end_cost:
+                best = HeuristicOutcome(pe_idx, buf_idx, pes, l1_bytes, cost)
+    return best
+
+
+def per_layer_optima(layers: Sequence[Layer], dataflow: str, objective: str,
+                     cost_model: CostModel, space: ActionSpace
+                     ) -> List[Tuple[int, int, float]]:
+    """The per-layer optimal pairs Con'X finds in the LS study."""
+    optima = []
+    for layer in layers:
+        grid = layer_contour(layer, dataflow, objective, cost_model, space)
+        optima.append(best_action_pair(grid))
+    return optima

@@ -1,0 +1,76 @@
+"""Run a set of search methods against one task and collect results.
+
+The comparison tables (III, IV, V) are all "methods x tasks" grids; this
+module provides the method registry (construction with per-method seeds)
+and the loop that gives every method a fresh environment/evaluator over a
+shared cost model, so cached layer evaluations are reused across methods
+without leaking search state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.evaluator import DesignPointEvaluator
+from repro.costmodel.estimator import CostModel
+from repro.experiments.tasks import TaskSpec
+from repro.optim import BASELINE_OPTIMIZERS
+from repro.rl import RL_ALGORITHMS
+from repro.rl.common import SearchResult
+
+#: Method name -> factory(seed) for every search method in the repository.
+_FACTORIES: Dict[str, Callable] = {}
+_FACTORIES.update({
+    name: (lambda cls: (lambda seed: cls(seed=seed)))(cls)
+    for name, cls in BASELINE_OPTIMIZERS.items()
+})
+_FACTORIES.update({
+    name: (lambda cls: (lambda seed: cls(seed=seed)))(cls)
+    for name, cls in RL_ALGORITHMS.items()
+})
+_FACTORIES["reinforce-mlp"] = lambda seed: RL_ALGORITHMS["reinforce"](
+    policy="mlp", seed=seed)
+
+#: Which methods drive the env (episodic RL) vs. the genome evaluator.
+RL_METHODS = frozenset(RL_ALGORITHMS) | {"reinforce-mlp"}
+
+
+def method_factories(names: Iterable[str]) -> Dict[str, Callable]:
+    """Resolve method names to factories, failing fast on typos."""
+    factories = {}
+    for name in names:
+        try:
+            factories[name] = _FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown method {name!r}; available: "
+                f"{', '.join(sorted(_FACTORIES))}"
+            ) from None
+    return factories
+
+
+def compare_methods(
+    task: TaskSpec,
+    methods: Iterable[str],
+    epochs: int,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+) -> Dict[str, SearchResult]:
+    """Run every method on ``task`` for ``epochs`` and collect results.
+
+    RL methods consume ``epochs`` episodes; baselines consume ``epochs``
+    whole-design-point evaluations -- the paper's protocol (both are one
+    cost-model pass per layer per epoch for LP tasks).
+    """
+    cost_model = cost_model or CostModel()
+    constraint = task.constraint(cost_model)
+    results: Dict[str, SearchResult] = {}
+    for name, factory in method_factories(methods).items():
+        method = factory(seed)
+        if name in RL_METHODS:
+            env = task.make_env(cost_model, constraint)
+            results[name] = method.search(env, epochs)
+        else:
+            evaluator = task.make_evaluator(cost_model, constraint)
+            results[name] = method.search(evaluator, epochs)
+    return results

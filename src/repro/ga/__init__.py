@@ -1,0 +1,5 @@
+"""Stage-2 local fine-tuning (paper Section III-G)."""
+
+from repro.ga.local_ga import LocalGA
+
+__all__ = ["LocalGA"]

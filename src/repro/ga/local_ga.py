@@ -1,0 +1,175 @@
+"""The specially designed local fine-tuning GA (paper Section III-G).
+
+The RL stage navigates the coarse Table-I levels; this GA then polishes the
+solution in the *raw* integer space (any PE count, any buffer size), using
+two conservative operators that preserve the constraint relationship the RL
+stage learnt:
+
+* **Local mutation** -- a gene moves at most ``step`` away from its current
+  value (e.g. PE=64 -> [60, 68] for step 4), keeping most offspring valid.
+* **Local crossover** -- instead of blending two parents (which the paper
+  shows breaks the learnt per-layer budget split), the (PE, Buffer) tuples
+  of two layers are swapped *within one* genome.
+
+The first population is seeded with the stage-1 solution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluator import DesignPointEvaluator, RawAssignment
+from repro.rl.common import SearchResult
+
+Genome = List[List]  # [[pes, buf(, style)], ...] mutable raw assignments
+
+
+class LocalGA:
+    """Local-search GA seeded with a known-good design point.
+
+    Args:
+        population_size: Individuals per generation (paper: 20).
+        mutation_rate: Per-gene local-mutation probability (paper: 0.05).
+        crossover_rate: Per-individual layer-swap probability (paper: 0.2).
+        mutation_step: Maximum per-gene move (paper: 4).
+        max_pes: Raw PE upper bound.
+        max_l1_bytes: Raw buffer upper bound.
+        crossover_mode: "local" (the paper's within-genome layer swap) or
+            "global" (conventional two-parent gene blending) -- the latter
+            exists only for the ablation that reproduces the paper's
+            argument that blending breaks the learnt budget split.
+        seed: RNG seed.
+    """
+
+    name = "local-ga"
+
+    def __init__(self, population_size: int = 20, mutation_rate: float = 0.05,
+                 crossover_rate: float = 0.2, mutation_step: int = 4,
+                 max_pes: int = 128, max_l1_bytes: int = 2048,
+                 elite: int = 2, crossover_mode: str = "local",
+                 seed: Optional[int] = None) -> None:
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if mutation_step < 1:
+            raise ValueError("mutation_step must be >= 1")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0.0 <= crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be in [0, 1]")
+        if crossover_mode not in ("local", "global"):
+            raise ValueError(
+                f"unknown crossover_mode {crossover_mode!r}")
+        self.crossover_mode = crossover_mode
+        self.population_size = population_size
+        self.mutation_rate = mutation_rate
+        self.crossover_rate = crossover_rate
+        self.mutation_step = mutation_step
+        self.max_pes = max_pes
+        self.max_l1_bytes = max_l1_bytes
+        self.elite = max(1, elite)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_genome(assignments: Sequence[RawAssignment]) -> Genome:
+        return [list(assignment) for assignment in assignments]
+
+    def _mutate(self, genome: Genome) -> Genome:
+        child = [list(gene) for gene in genome]
+        for gene in child:
+            if self.rng.random() < self.mutation_rate:
+                delta = int(self.rng.integers(-self.mutation_step,
+                                              self.mutation_step + 1))
+                gene[0] = int(min(max(gene[0] + delta, 1), self.max_pes))
+            if self.rng.random() < self.mutation_rate:
+                delta = int(self.rng.integers(-self.mutation_step,
+                                              self.mutation_step + 1))
+                gene[1] = int(min(max(gene[1] + delta, 1),
+                                  self.max_l1_bytes))
+        return child
+
+    def _local_crossover(self, genome: Genome) -> Genome:
+        """Swap the full assignments of two layers within one genome."""
+        if len(genome) < 2:
+            return genome
+        child = [list(gene) for gene in genome]
+        i, j = self.rng.choice(len(child), size=2, replace=False)
+        child[int(i)], child[int(j)] = child[int(j)], child[int(i)]
+        return child
+
+    def _global_crossover(self, a: Genome, b: Genome) -> Genome:
+        """Conventional uniform blending of two parents (ablation only)."""
+        child = []
+        for gene_a, gene_b in zip(a, b):
+            child.append(list(gene_b if self.rng.random() < 0.5
+                              else gene_a))
+        return child
+
+    def _fitness(self, evaluator: DesignPointEvaluator,
+                 genome: Genome) -> float:
+        outcome = evaluator.evaluate_raw([tuple(g) for g in genome])
+        return outcome.cost if outcome.feasible else float("inf")
+
+    # ------------------------------------------------------------------
+    def search(self, evaluator: DesignPointEvaluator,
+               initial: Sequence[RawAssignment],
+               generations: int) -> SearchResult:
+        """Fine-tune ``initial`` for ``generations`` GA generations.
+
+        The initial point is evaluated first and is never lost (elitism), so
+        the result is monotonically at least as good as the seed.
+        """
+        if generations < 1:
+            raise ValueError("generations must be >= 1")
+        result = SearchResult(algorithm=self.name)
+        started = time.perf_counter()
+
+        seed_genome = self._to_genome(initial)
+        population: List[Tuple[float, Genome]] = []
+        seed_cost = self._fitness(evaluator, seed_genome)
+        population.append((seed_cost, seed_genome))
+        for _ in range(self.population_size - 1):
+            population.append((
+                float("inf"),
+                self._mutate(seed_genome),
+            ))
+        population = [(self._fitness(evaluator, genome)
+                       if cost == float("inf") else cost, genome)
+                      for cost, genome in population]
+
+        for _ in range(generations):
+            population.sort(key=lambda item: item[0])
+            survivors = population[: max(self.elite,
+                                         self.population_size // 2)]
+            next_population = list(population[: self.elite])
+            while len(next_population) < self.population_size:
+                _, parent = survivors[
+                    int(self.rng.integers(len(survivors)))]
+                child = parent
+                if self.rng.random() < self.crossover_rate:
+                    if self.crossover_mode == "local":
+                        child = self._local_crossover(child)
+                    else:
+                        _, other = survivors[
+                            int(self.rng.integers(len(survivors)))]
+                        child = self._global_crossover(child, other)
+                child = self._mutate(child)
+                next_population.append(
+                    (self._fitness(evaluator, child), child))
+            population = next_population
+            best_cost = min(cost for cost, _ in population)
+            result.record(None if best_cost == float("inf") else best_cost)
+
+        population.sort(key=lambda item: item[0])
+        best_cost, best_genome = population[0]
+        if best_cost != float("inf"):
+            result.best_cost = best_cost
+            result.best_assignments = tuple(
+                tuple(gene) for gene in best_genome)
+        result.wall_time_s = time.perf_counter() - started
+        result.evaluations = evaluator.evaluations
+        result.episodes = generations
+        return result

@@ -1,0 +1,36 @@
+"""DNN model zoo: layer descriptions for the workloads evaluated in the paper.
+
+The zoo provides the six models used throughout the ConfuciuX evaluation:
+three CNNs (MobileNet-V2, MnasNet, ResNet-50) and three GEMM-based models
+(GNMT, Transformer, NCF).  Each model is a plain list of :class:`Layer`
+records carrying the seven shape dimensions the RL agent observes
+(K, C, Y, X, R, S plus the layer-type indicator).
+"""
+
+from repro.models.layers import Layer, LayerType, gemm_layer
+from repro.models.zoo import (
+    MODEL_REGISTRY,
+    get_model,
+    gnmt,
+    list_models,
+    mnasnet,
+    mobilenet_v2,
+    ncf,
+    resnet50,
+    transformer,
+)
+
+__all__ = [
+    "Layer",
+    "LayerType",
+    "gemm_layer",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+    "mobilenet_v2",
+    "mnasnet",
+    "resnet50",
+    "gnmt",
+    "transformer",
+    "ncf",
+]

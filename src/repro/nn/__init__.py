@@ -1,0 +1,32 @@
+"""A small reverse-mode autograd engine and neural-network library on numpy.
+
+The paper builds its agents on off-the-shelf RL frameworks; this repository
+has no such dependency, so ``repro.nn`` supplies the substrate: a tensor
+autograd engine, the modules the policy/value networks need (``Linear``,
+``LSTMCell``, ``MLP``), Adam/SGD optimizers, and the categorical / Gaussian
+action distributions used by the discrete and continuous agents.
+"""
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.modules import LSTM, LSTMCell, Linear, MLP, Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.distributions import Categorical, DiagGaussian
+from repro.nn import functional
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "LSTMCell",
+    "LSTM",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "Categorical",
+    "DiagGaussian",
+    "functional",
+]

@@ -1,0 +1,85 @@
+"""Action distributions for the RL agents.
+
+``Categorical`` backs the discrete agents (REINFORCE, A2C, ACKTR, PPO2);
+``DiagGaussian`` backs the continuous ones (DDPG's exploration noise aside,
+SAC and TD3 sample from / evaluate Gaussians over the squashed action box).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.functional import log_softmax, softmax
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class Categorical:
+    """Categorical distribution parameterized by logits (batch, classes)."""
+
+    def __init__(self, logits: Tensor) -> None:
+        if logits.ndim != 2:
+            raise ValueError("logits must be 2-D (batch, classes)")
+        self.logits = logits
+        self._log_probs = log_softmax(logits, axis=-1)
+
+    @property
+    def probs(self) -> np.ndarray:
+        return softmax(self.logits, axis=-1).numpy()
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample one class index per batch row (no gradient)."""
+        probs = self.probs
+        cumulative = probs.cumsum(axis=-1)
+        # Guard against round-off so searchsorted never lands out of range.
+        cumulative[:, -1] = 1.0
+        draws = rng.random(size=(probs.shape[0], 1))
+        return (draws < cumulative).argmax(axis=-1)
+
+    def mode(self) -> np.ndarray:
+        return self.probs.argmax(axis=-1)
+
+    def log_prob(self, actions: Sequence[int]) -> Tensor:
+        """Log-probability of ``actions`` with gradients to the logits."""
+        actions = np.asarray(actions, dtype=np.int64)
+        rows = np.arange(actions.shape[0])
+        return self._log_probs[rows, actions]
+
+    def entropy(self) -> Tensor:
+        probs = softmax(self.logits, axis=-1)
+        return -(probs * self._log_probs).sum(axis=-1)
+
+
+class DiagGaussian:
+    """Diagonal Gaussian with learnable mean and log-std tensors."""
+
+    def __init__(self, mean: Tensor, log_std: Tensor) -> None:
+        self.mean = mean
+        self.log_std = log_std
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        noise = rng.standard_normal(self.mean.shape)
+        return self.mean.numpy() + np.exp(self.log_std.numpy()) * noise
+
+    def rsample(self, rng: np.random.Generator) -> Tensor:
+        """Reparameterized sample (gradient flows to mean and log-std)."""
+        noise = Tensor(rng.standard_normal(self.mean.shape))
+        return self.mean + self.log_std.exp() * noise
+
+    def log_prob(self, value) -> Tensor:
+        value = value if isinstance(value, Tensor) else Tensor(value)
+        var = (self.log_std * 2.0).exp()
+        diff = value - self.mean
+        per_dim = (
+            (diff * diff) / var * -0.5
+            - self.log_std
+            - 0.5 * _LOG_2PI
+        )
+        return per_dim.sum(axis=-1)
+
+    def entropy(self) -> Tensor:
+        return (self.log_std + 0.5 * (_LOG_2PI + 1.0)).sum(axis=-1)

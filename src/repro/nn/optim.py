@@ -1,0 +1,105 @@
+"""Gradient-descent optimizers for the tiny NN library."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.modules import Parameter
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity += parameter.grad
+            parameter.data -= self.lr * velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Sequence[Parameter],
+                   max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging and tests).
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float(np.sum(parameter.grad ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for parameter in parameters:
+            if parameter.grad is not None:
+                parameter.grad *= scale
+    return norm

@@ -1,0 +1,31 @@
+"""Classic design-space-exploration baselines (paper Section II-E).
+
+All five optimizers treat a complete per-layer assignment (a genome of level
+indices) as one sample and consume a shared evaluation budget ``Eps``,
+mirroring the paper's comparison protocol.
+"""
+
+from repro.optim.base import GenomeOptimizer
+from repro.optim.grid import GridSearch
+from repro.optim.random_search import RandomSearch
+from repro.optim.annealing import SimulatedAnnealing
+from repro.optim.genetic import GeneticAlgorithm
+from repro.optim.bayesian import BayesianOptimization
+
+BASELINE_OPTIMIZERS = {
+    "grid": GridSearch,
+    "random": RandomSearch,
+    "sa": SimulatedAnnealing,
+    "ga": GeneticAlgorithm,
+    "bayesian": BayesianOptimization,
+}
+
+__all__ = [
+    "GenomeOptimizer",
+    "GridSearch",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "GeneticAlgorithm",
+    "BayesianOptimization",
+    "BASELINE_OPTIMIZERS",
+]

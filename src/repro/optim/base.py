@@ -1,0 +1,88 @@
+"""Shared interface for the genome-space baseline optimizers."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluator import DesignPointEvaluator, EvalResult
+from repro.rl.common import SearchResult
+
+
+class GenomeOptimizer:
+    """Base class: optimize a level-index genome under a budget of ``Eps``
+    whole-design-point evaluations.
+
+    Subclasses implement :meth:`_run`; the base class provides bookkeeping
+    (best-feasible tracking, convergence history, wall time) so every
+    method reports through the same :class:`SearchResult`.
+    """
+
+    name = "genome-optimizer"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.rng = np.random.default_rng(seed)
+        self._result: Optional[SearchResult] = None
+        self._evaluator: Optional[DesignPointEvaluator] = None
+        self._budget = 0
+        self._spent = 0
+
+    # ------------------------------------------------------------------
+    def search(self, evaluator: DesignPointEvaluator,
+               epochs: int) -> SearchResult:
+        """Spend ``epochs`` design-point evaluations; return the outcome."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self._evaluator = evaluator
+        self._budget = epochs
+        self._spent = 0
+        self._result = SearchResult(algorithm=self.name)
+        started = time.perf_counter()
+        self._run()
+        result = self._result
+        result.wall_time_s = time.perf_counter() - started
+        result.evaluations = self._spent
+        result.episodes = self._spent
+        return result
+
+    # ------------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        return self._spent >= self._budget
+
+    def evaluate(self, genome: Sequence[int]) -> EvalResult:
+        """Evaluate one genome, charging the budget and updating the best.
+
+        Raises:
+            RuntimeError: if called after the budget is exhausted (guard
+            with :attr:`exhausted` in the subclass loop).
+        """
+        if self.exhausted:
+            raise RuntimeError("evaluation budget exhausted")
+        outcome = self._evaluator.evaluate_genome(genome)
+        self._spent += 1
+        result = self._result
+        if outcome.feasible and (result.best_cost is None
+                                 or outcome.cost < result.best_cost):
+            result.best_cost = outcome.cost
+            result.best_genome = list(genome)
+            result.best_assignments = tuple(
+                self._evaluator.decode_genome(genome))
+        result.record(result.best_cost)
+        return outcome
+
+    def random_genome(self) -> List[int]:
+        """A uniformly random genome."""
+        space = self._evaluator.space
+        genome: List[int] = []
+        for _ in range(len(self._evaluator.layers)):
+            genome.append(int(self.rng.integers(space.num_levels)))
+            genome.append(int(self.rng.integers(space.num_levels)))
+            if space.is_mix:
+                genome.append(int(self.rng.integers(len(space.dataflows))))
+        return genome
+
+    def _run(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,21 @@
+"""Random search: sample ``Eps`` design points uniformly, keep the best.
+
+A surprisingly strong baseline in many hyper-parameter problems (Bergstra &
+Bengio 2012), but blind to the constraint structure: under tight budgets
+almost all uniform samples violate the constraint, which is why the paper's
+Table IV shows NAN for IoT/IoTx rows.
+"""
+
+from __future__ import annotations
+
+from repro.optim.base import GenomeOptimizer
+
+
+class RandomSearch(GenomeOptimizer):
+    """Uniform sampling over the level-index genome space."""
+
+    name = "random"
+
+    def _run(self) -> None:
+        while not self.exhausted:
+            self.evaluate(self.random_genome())

@@ -1,0 +1,42 @@
+"""RL algorithms for the HW-assignment search.
+
+``Reinforce`` is the paper's choice (actor-only, LSTM policy); the rest are
+the state-of-the-art comparison points of Table V: the discrete actor-critic
+family (A2C, ACKTR, PPO2) and the continuous off-policy family (DDPG, TD3,
+SAC), whose box actions are snapped onto the discrete Table-I levels.
+"""
+
+from repro.rl.common import SearchAlgorithm, SearchResult
+from repro.rl.policies import MLPPolicy, RecurrentPolicy
+from repro.rl.reinforce import Reinforce
+from repro.rl.a2c import A2C
+from repro.rl.acktr import ACKTR
+from repro.rl.ppo import PPO2
+from repro.rl.ddpg import DDPG
+from repro.rl.td3 import TD3
+from repro.rl.sac import SAC
+
+RL_ALGORITHMS = {
+    "reinforce": Reinforce,
+    "a2c": A2C,
+    "acktr": ACKTR,
+    "ppo2": PPO2,
+    "ddpg": DDPG,
+    "td3": TD3,
+    "sac": SAC,
+}
+
+__all__ = [
+    "SearchAlgorithm",
+    "SearchResult",
+    "RecurrentPolicy",
+    "MLPPolicy",
+    "Reinforce",
+    "A2C",
+    "ACKTR",
+    "PPO2",
+    "DDPG",
+    "TD3",
+    "SAC",
+    "RL_ALGORITHMS",
+]

@@ -1,0 +1,92 @@
+"""Policy networks: the paper's RNN (LSTM-128) policy and the MLP ablation.
+
+Both produce one categorical distribution per action head -- (PE, Buffer)
+and, under MIX, the dataflow style.  The recurrent policy threads an LSTM
+state through the episode so it can ``remember the consumed constraint of
+previous layers`` (Section IV-G); the MLP sees only the current observation
+(which still includes the previous action, equation 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.distributions import Categorical
+from repro.nn.modules import Linear, LSTMCell, MLP, Module
+
+
+class RecurrentPolicy(Module):
+    """LSTM backbone with one linear head per sub-action.
+
+    Args:
+        obs_dim: Observation dimensionality (10, equation 1).
+        head_sizes: Number of levels per action head (Table I / MIX).
+        hidden_size: LSTM width; the paper uses 128.
+    """
+
+    def __init__(self, obs_dim: int, head_sizes: Sequence[int],
+                 hidden_size: int = 128,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        self.obs_dim = obs_dim
+        self.hidden_size = hidden_size
+        self.cell = LSTMCell(obs_dim, hidden_size, rng=rng)
+        self.heads = [Linear(hidden_size, size, rng=rng, gain=0.1)
+                      for size in head_sizes]
+
+    @property
+    def is_recurrent(self) -> bool:
+        return True
+
+    def initial_state(self) -> Tuple[Tensor, Tensor]:
+        return self.cell.initial_state(batch=1)
+
+    def forward(self, obs: Tensor,
+                state: Tuple[Tensor, Tensor]
+                ) -> Tuple[List[Categorical], Tuple[Tensor, Tensor]]:
+        h, c = self.cell(obs, state)
+        dists = [Categorical(head(h)) for head in self.heads]
+        return dists, (h, c)
+
+
+class MLPPolicy(Module):
+    """Feed-forward policy (Table IX's MLP ablation and the comparison
+    agents' default architecture)."""
+
+    def __init__(self, obs_dim: int, head_sizes: Sequence[int],
+                 hidden_sizes: Sequence[int] = (64, 64),
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng()
+        self.obs_dim = obs_dim
+        self.body = MLP([obs_dim, *hidden_sizes], activation="tanh",
+                        output_activation="tanh", rng=rng)
+        self.heads = [Linear(hidden_sizes[-1], size, rng=rng, gain=0.1)
+                      for size in head_sizes]
+
+    @property
+    def is_recurrent(self) -> bool:
+        return False
+
+    def initial_state(self) -> None:
+        return None
+
+    def forward(self, obs: Tensor, state=None
+                ) -> Tuple[List[Categorical], None]:
+        features = self.body(obs)
+        dists = [Categorical(head(features)) for head in self.heads]
+        return dists, None
+
+
+def build_policy(kind: str, obs_dim: int, head_sizes: Sequence[int],
+                 rng: Optional[np.random.Generator] = None,
+                 hidden_size: int = 128) -> Module:
+    """Factory used by the policy-network ablation (Table IX)."""
+    if kind == "rnn":
+        return RecurrentPolicy(obs_dim, head_sizes, hidden_size=hidden_size,
+                               rng=rng)
+    if kind == "mlp":
+        return MLPPolicy(obs_dim, head_sizes, rng=rng)
+    raise ValueError(f"unknown policy kind {kind!r} (use 'rnn' or 'mlp')")

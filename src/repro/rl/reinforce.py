@@ -1,0 +1,120 @@
+"""REINFORCE -- the global-search stage of ConfuciuX (Section III).
+
+Actor-only policy gradient: no critic approximates the (discrete, irregular)
+HW-performance landscape; the policy learns directly from shaped rewards.
+Per episode the agent samples one action pair per layer, the rewards are
+turned into discounted (d = 0.9) returns, standardized, and the policy is
+updated once -- the paper's "policy network gets updated at the end of each
+epoch".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.env.environment import HWAssignmentEnv
+from repro.nn.autograd import Tensor
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.rl.common import (
+    SearchAlgorithm,
+    SearchResult,
+    normalize_rewards_for_training,
+)
+from repro.rl.policies import build_policy
+
+
+class Reinforce(SearchAlgorithm):
+    """The Con'X(global) agent.
+
+    Args:
+        policy: "rnn" (the paper's LSTM-128) or "mlp" (Table IX ablation).
+        lr: Adam learning rate.
+        discount: Return discount; the paper found 0.9 a good default.
+        entropy_coef: Exploration bonus weight.
+        hidden_size: LSTM width.
+        seed: RNG seed for reproducible searches.
+    """
+
+    name = "reinforce"
+
+    def __init__(self, policy: str = "rnn", lr: float = 3e-3,
+                 discount: float = 0.9, entropy_coef: float = 0.01,
+                 hidden_size: int = 128, max_grad_norm: float = 5.0,
+                 seed: Optional[int] = None) -> None:
+        self.policy_kind = policy
+        self.lr = lr
+        self.discount = discount
+        self.entropy_coef = entropy_coef
+        self.hidden_size = hidden_size
+        self.max_grad_norm = max_grad_norm
+        self.rng = np.random.default_rng(seed)
+        self.policy = None
+        self.optimizer = None
+
+    # ------------------------------------------------------------------
+    def _build(self, env: HWAssignmentEnv) -> None:
+        self.policy = build_policy(
+            self.policy_kind, env.observation_dim, env.space.head_sizes,
+            rng=self.rng, hidden_size=self.hidden_size)
+        self.optimizer = Adam(self.policy.parameters(), lr=self.lr)
+
+    def run_episode(self, env: HWAssignmentEnv):
+        """Roll out one episode keeping the autograd graph alive.
+
+        Returns (log_prob tensors, entropy tensors, rewards, episode info).
+        """
+        observation = env.reset()
+        state = self.policy.initial_state()
+        log_probs: List[Tensor] = []
+        entropies: List[Tensor] = []
+        rewards: List[float] = []
+        episode = None
+        done = False
+        while not done:
+            obs_tensor = Tensor(observation.reshape(1, -1))
+            dists, state = self.policy(obs_tensor, state)
+            action = [int(d.sample(self.rng)[0]) for d in dists]
+            step_logp = dists[0].log_prob([action[0]])
+            step_entropy = dists[0].entropy()
+            for head, dist in enumerate(dists[1:], start=1):
+                step_logp = step_logp + dist.log_prob([action[head]])
+                step_entropy = step_entropy + dist.entropy()
+            observation, reward, done, info = env.step(action)
+            log_probs.append(step_logp)
+            entropies.append(step_entropy)
+            rewards.append(reward)
+            episode = info["episode"]
+        return log_probs, entropies, rewards, episode
+
+    def update(self, log_probs: List[Tensor], entropies: List[Tensor],
+               rewards: List[float]) -> float:
+        """One policy-gradient step; returns the scalar loss."""
+        returns = normalize_rewards_for_training(rewards, self.discount)
+        loss = None
+        for log_prob, entropy, g in zip(log_probs, entropies, returns):
+            term = log_prob * float(g) + entropy * self.entropy_coef
+            loss = term if loss is None else loss + term
+        loss = -loss.sum() * (1.0 / max(len(rewards), 1))
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------
+    def search(self, env: HWAssignmentEnv, epochs: int) -> SearchResult:
+        """Train for ``epochs`` episodes; track the best feasible design."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        result, started = self._start(self.name)
+        if self.policy is None:
+            self._build(env)
+        for _ in range(epochs):
+            log_probs, entropies, rewards, _ = self.run_episode(env)
+            self.update(log_probs, entropies, rewards)
+            result.record(env.best.cost if env.best else None)
+        self._finalize(result, env, started)
+        result.memory_bytes = 8 * self.policy.num_parameters()
+        return result

@@ -1,0 +1,58 @@
+"""Shared fixtures: a session-wide cost model and small workloads.
+
+Tests use tiny layer lists and low epoch budgets so the full suite stays
+fast; the benchmarks exercise the realistic scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.env.spaces import ActionSpace
+from repro.models import get_model
+from repro.models.layers import Layer, LayerType, gemm_layer
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture(scope="session")
+def space_dla() -> ActionSpace:
+    return ActionSpace.build("dla")
+
+
+@pytest.fixture(scope="session")
+def space_mix() -> ActionSpace:
+    return ActionSpace.build(mix=True)
+
+
+@pytest.fixture(scope="session")
+def conv_layer() -> Layer:
+    return Layer("conv", LayerType.CONV, K=32, C=16, Y=28, X=28, R=3, S=3)
+
+
+@pytest.fixture(scope="session")
+def dw_layer() -> Layer:
+    return Layer("dw", LayerType.DWCONV, K=32, C=32, Y=28, X=28, R=3, S=3)
+
+
+@pytest.fixture(scope="session")
+def gemm() -> Layer:
+    return gemm_layer("gemm", m=64, n=32, k=128)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(conv_layer, dw_layer, gemm) -> list:
+    """A 4-layer model exercising every layer type."""
+    pw = Layer("pw", LayerType.PWCONV, K=64, C=32, Y=28, X=28)
+    return [conv_layer, dw_layer, pw, gemm]
+
+
+@pytest.fixture(scope="session")
+def mobilenet_slice() -> list:
+    """First 8 MobileNet-V2 layers: big enough to be interesting, small
+    enough for fast RL episodes."""
+    return get_model("mobilenet_v2")[:8]

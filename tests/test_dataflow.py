@@ -1,0 +1,139 @@
+"""Tests for the dataflow styles: ladders, tile fitting, spatial plans."""
+
+import pytest
+
+from repro.costmodel.dataflow import (
+    DATAFLOW_ORDER,
+    DATAFLOWS,
+    EyerissStyle,
+    NVDLAStyle,
+    ShiDianNaoStyle,
+    get_dataflow,
+)
+from repro.models.layers import Layer, LayerType, gemm_layer
+
+
+class TestRegistry:
+    def test_three_styles(self):
+        assert set(DATAFLOWS) == {"dla", "eye", "shi"}
+        assert set(DATAFLOW_ORDER) == set(DATAFLOWS)
+
+    def test_get_by_name(self):
+        assert isinstance(get_dataflow("dla"), NVDLAStyle)
+        assert isinstance(get_dataflow("eye"), EyerissStyle)
+        assert isinstance(get_dataflow("shi"), ShiDianNaoStyle)
+
+    def test_instances_pass_through(self):
+        df = NVDLAStyle()
+        assert get_dataflow(df) is df
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(KeyError, match="unknown dataflow"):
+            get_dataflow("tpu")
+
+
+class TestBufferLevels:
+    def test_nvdla_matches_table1_exactly(self):
+        # Table I: 19, 29, 39, ..., 129 bytes (9k + 9 + k, k = 1..12).
+        assert NVDLAStyle().buffer_levels(12) == [
+            19, 29, 39, 49, 59, 69, 79, 89, 99, 109, 119, 129]
+
+    @pytest.mark.parametrize("style", DATAFLOW_ORDER)
+    @pytest.mark.parametrize("levels", [10, 12, 14])
+    def test_ladders_strictly_increasing(self, style, levels):
+        ladder = get_dataflow(style).buffer_levels(levels)
+        assert len(ladder) == levels
+        assert all(b > a for a, b in zip(ladder, ladder[1:]))
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            NVDLAStyle().buffer_levels(0)
+
+
+class TestTileFit:
+    def test_nvdla_3x3_inverse_of_ladder(self, conv_layer):
+        dla = NVDLAStyle()
+        for k, l1_bytes in enumerate(dla.buffer_levels(12), start=1):
+            assert dla.tile_fit(conv_layer, l1_bytes) == k
+
+    def test_always_at_least_one(self, conv_layer):
+        for style in DATAFLOW_ORDER:
+            assert get_dataflow(style).tile_fit(conv_layer, 1) == 1
+
+    def test_l1_requirement_roundtrip(self, conv_layer):
+        dla = NVDLAStyle()
+        for k in (1, 4, 12):
+            need = dla.l1_requirement(conv_layer, k)
+            assert dla.tile_fit(conv_layer, need) >= k
+
+    def test_gemm_footprint_uses_1x1(self, gemm):
+        dla = NVDLAStyle()
+        # Footprint is (R*S + 1) per filter + R*S fixed = 2k + 1.
+        assert dla.tile_fit(gemm, 21) == 10
+
+
+class TestSpatialPlans:
+    @pytest.mark.parametrize("style", DATAFLOW_ORDER)
+    @pytest.mark.parametrize("pes", [1, 8, 64, 128])
+    @pytest.mark.parametrize("l1", [19, 69, 129])
+    def test_plan_invariants(self, style, pes, l1, conv_layer):
+        plan = get_dataflow(style).plan(conv_layer, pes, l1)
+        assert plan.units >= 1
+        assert plan.unit_macs >= 1
+        assert plan.weight_fetches >= 1.0
+        assert plan.input_fetches >= 1.0
+        assert plan.output_fetches >= 1.0
+        assert plan.tile_k >= 1
+
+    @pytest.mark.parametrize("style", DATAFLOW_ORDER)
+    def test_total_work_covers_layer(self, style, conv_layer):
+        plan = get_dataflow(style).plan(conv_layer, 16, 69)
+        assert plan.units * plan.unit_macs >= conv_layer.macs
+
+    def test_dla_parallelism_scales_with_channels(self):
+        dla = NVDLAStyle()
+        small = Layer("s", LayerType.CONV, K=4, C=4, Y=16, X=16, R=3, S=3)
+        large = Layer("l", LayerType.CONV, K=64, C=64, Y=16, X=16, R=3, S=3)
+        assert dla.plan(large, 128, 19).units > dla.plan(small, 128, 19).units
+
+    def test_eye_parallelism_scales_with_rows(self):
+        eye = EyerissStyle()
+        small = Layer("s", LayerType.CONV, K=16, C=16, Y=8, X=8, R=3, S=3)
+        large = Layer("l", LayerType.CONV, K=16, C=16, Y=64, X=64, R=3, S=3)
+        assert eye.plan(large, 128, 19).units > eye.plan(small, 128, 19).units
+
+    def test_shi_parallelism_scales_with_output_plane(self):
+        shi = ShiDianNaoStyle()
+        small = Layer("s", LayerType.CONV, K=16, C=16, Y=8, X=8, R=3, S=3)
+        large = Layer("l", LayerType.CONV, K=16, C=16, Y=64, X=64, R=3, S=3)
+        assert shi.plan(large, 128, 19).units > shi.plan(small, 128, 19).units
+
+    def test_dla_dwconv_tile_does_not_change_total_work(self, dw_layer):
+        # Section IV-B: for DWCONV under dla, growing the filter tile buys
+        # nothing -- each output channel only needs its own input channel.
+        dla = NVDLAStyle()
+        small = dla.plan(dw_layer, 8, 19)
+        large = dla.plan(dw_layer, 8, 129)
+        small_total = small.units * small.unit_macs
+        large_total = large.units * large.unit_macs
+        # Equal up to the ceil slack of a partially filled last tile.
+        assert small_total <= large_total <= 1.25 * small_total
+
+    def test_dla_larger_tile_fewer_input_refetches(self):
+        dla = NVDLAStyle()
+        layer = Layer("l", LayerType.CONV, K=256, C=8, Y=16, X=16, R=3, S=3)
+        small = dla.plan(layer, 8, 19)
+        large = dla.plan(layer, 8, 129)
+        assert large.input_fetches <= small.input_fetches
+
+    def test_shi_more_pes_fewer_weight_refetches(self, conv_layer):
+        shi = ShiDianNaoStyle()
+        few = shi.plan(conv_layer, 2, 19)
+        many = shi.plan(conv_layer, 128, 19)
+        assert many.weight_fetches <= few.weight_fetches
+
+    def test_dwconv_no_cross_channel_reduction_in_unit_macs(self, dw_layer):
+        for style in DATAFLOW_ORDER:
+            plan = get_dataflow(style).plan(dw_layer, 16, 69)
+            total = plan.units * plan.unit_macs
+            assert total < 4 * dw_layer.macs  # ceil slack only, no x C

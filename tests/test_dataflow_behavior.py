@@ -1,0 +1,94 @@
+"""Behavioural tests on cross-dataflow preferences.
+
+These encode the paper's Table VI / Fig. 8 explanation: NVDLA-style (dla)
+parallelizes channels and shines on late CNN layers with large K/C;
+Eyeriss/ShiDianNao-style parallelize activations and shine on early layers
+with large Y/X.
+"""
+
+import pytest
+
+from repro.models import get_model
+from repro.models.layers import Layer, LayerType
+
+
+def best_style(cost_model, layer, pes=64, objective="latency"):
+    costs = {}
+    for style, l1 in (("dla", 69), ("eye", 27), ("shi", 24)):
+        report = cost_model.evaluate_layer(layer, style, pes, l1)
+        costs[style] = report.objective(objective)
+    return min(costs, key=costs.get), costs
+
+
+class TestStylePreferences:
+    def test_early_layer_prefers_activation_parallel(self, cost_model):
+        # Large activation plane, few channels: dla's K*C parallelism is
+        # tiny while eye/shi can fill the array.
+        early = Layer("early", LayerType.CONV, K=8, C=3, Y=112, X=112,
+                      R=3, S=3)
+        winner, costs = best_style(cost_model, early, pes=128)
+        assert winner in ("eye", "shi")
+        assert costs[winner] < costs["dla"]
+
+    def test_late_layer_prefers_channel_parallel(self, cost_model):
+        # Tiny plane, many channels: the paper's "most layers in CNNs have
+        # large K/C" case where dla wins.
+        late = Layer("late", LayerType.CONV, K=512, C=512, Y=7, X=7,
+                     R=3, S=3)
+        winner, costs = best_style(cost_model, late, pes=128)
+        assert winner == "dla"
+        assert costs["dla"] < min(costs["eye"], costs["shi"])
+
+    def test_mobilenet_stem_vs_head(self, cost_model):
+        layers = get_model("mobilenet_v2")
+        stem_winner, _ = best_style(cost_model, layers[0], pes=128)
+        head_winner, _ = best_style(cost_model, layers[-1], pes=128)
+        assert stem_winner in ("eye", "shi")
+        assert head_winner == "dla"
+
+    @pytest.mark.parametrize("style", ["dla", "eye", "shi"])
+    def test_gemm_layers_run_under_every_style(self, cost_model, gemm,
+                                               style):
+        report = cost_model.evaluate_layer(gemm, style, 32, 49)
+        assert report.latency_cycles > 0
+
+    def test_restricted_pes_shrink_dla_advantage(self, cost_model):
+        # The Table VI explanation: tight constraints restrict dla's
+        # parallelization advantage.  Measure dla's speedup over eye on a
+        # channel-heavy layer at large vs small arrays.
+        late = Layer("late", LayerType.CONV, K=512, C=512, Y=7, X=7,
+                     R=3, S=3)
+
+        def ratio(pes):
+            dla = cost_model.evaluate_layer(late, "dla", pes, 69)
+            eye = cost_model.evaluate_layer(late, "eye", pes, 27)
+            return eye.latency_cycles / dla.latency_cycles
+
+        assert ratio(128) >= ratio(2)
+
+
+class TestEnergyBehaviour:
+    def test_energy_has_interior_optimum_for_conv(self, cost_model):
+        # Section IV-B: energy can fall with more resources (less static
+        # energy) then rise (more leakage): the curve is not monotone for
+        # at least one sweep direction.
+        layer = Layer("mid", LayerType.CONV, K=96, C=96, Y=14, X=14,
+                      R=3, S=3)
+        energies = [
+            cost_model.evaluate_layer(layer, "dla", pes, 69).energy_nj
+            for pes in (1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+        ]
+        decreasing_somewhere = any(b < a for a, b
+                                   in zip(energies, energies[1:]))
+        increasing_somewhere = any(b > a for a, b
+                                   in zip(energies, energies[1:]))
+        assert decreasing_somewhere and increasing_somewhere
+
+    def test_small_buffer_raises_traffic_energy(self, cost_model):
+        # Fewer resident filters -> more input re-fetches -> more L2/DRAM
+        # energy on a channel-heavy layer at a small array.
+        layer = Layer("mid", LayerType.CONV, K=256, C=16, Y=14, X=14,
+                      R=3, S=3)
+        tiny = cost_model.evaluate_layer(layer, "dla", 4, 19)
+        roomy = cost_model.evaluate_layer(layer, "dla", 4, 129)
+        assert tiny.l2_traffic_bytes > roomy.l2_traffic_bytes

@@ -1,0 +1,190 @@
+"""White-box tests for baseline-optimizer internals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import PlatformConstraint
+from repro.core.evaluator import DesignPointEvaluator
+from repro.env.spaces import ActionSpace
+from repro.optim import (
+    BayesianOptimization,
+    GeneticAlgorithm,
+    GridSearch,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+from repro.optim.base import GenomeOptimizer
+
+
+@pytest.fixture
+def evaluator(cost_model, tiny_model, space_dla):
+    constraint = PlatformConstraint(kind="area", budget=1e15)
+    return DesignPointEvaluator(tiny_model, "latency", constraint,
+                                cost_model, space_dla, dataflow="dla")
+
+
+class TestBase:
+    def test_evaluate_past_budget_raises(self, evaluator):
+        optimizer = RandomSearch(seed=0)
+        optimizer.search(evaluator, 3)
+        with pytest.raises(RuntimeError, match="budget"):
+            optimizer.evaluate([0, 0] * 4)
+
+    def test_random_genome_respects_mix_layout(self, cost_model,
+                                               tiny_model, space_mix):
+        constraint = PlatformConstraint(kind="area", budget=1e15)
+        mix_eval = DesignPointEvaluator(tiny_model, "latency", constraint,
+                                        cost_model, space_mix)
+        optimizer = RandomSearch(seed=0)
+        optimizer._evaluator = mix_eval
+        genome = optimizer.random_genome()
+        assert len(genome) == 3 * len(tiny_model)
+        for i in range(2, len(genome), 3):
+            assert 0 <= genome[i] < 3
+
+    def test_base_run_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            GenomeOptimizer()._run()
+
+
+class TestGridAdvance:
+    def _grid_with(self, evaluator, stride=2):
+        grid = GridSearch(stride=stride)
+        grid._evaluator = evaluator
+        return grid
+
+    def test_counter_increments_least_significant_last_gene(self,
+                                                            evaluator):
+        grid = self._grid_with(evaluator)
+        genome = [0] * evaluator.genome_length
+        assert grid._advance(genome)
+        expected = [0] * evaluator.genome_length
+        expected[-1] = 2
+        assert genome == expected
+
+    def test_counter_carries(self, evaluator):
+        grid = self._grid_with(evaluator)
+        genome = [0] * evaluator.genome_length
+        genome[-1] = 10  # next +2 overflows the 12-level digit
+        assert grid._advance(genome)
+        assert genome[-1] == 0
+        assert genome[-2] == 2
+
+    def test_counter_terminates(self, cost_model, conv_layer, space_dla):
+        constraint = PlatformConstraint(kind="area", budget=1e15)
+        single = DesignPointEvaluator([conv_layer], "latency", constraint,
+                                      cost_model, space_dla,
+                                      dataflow="dla")
+        grid = GridSearch(stride=6)
+        grid._evaluator = single
+        genome = [0, 0]
+        states = 1
+        while grid._advance(genome):
+            states += 1
+        assert states == 4  # 2 strided values per gene, 2 genes
+
+
+class TestSimulatedAnnealingInternals:
+    def test_neighbour_moves_one_gene_by_step(self, evaluator):
+        sa = SimulatedAnnealing(step=1, seed=0)
+        sa._evaluator = evaluator
+        genome = [5, 5] * 4
+        for _ in range(20):
+            neighbour = sa._neighbour(genome)
+            diffs = [abs(a - b) for a, b in zip(genome, neighbour)]
+            assert sum(d != 0 for d in diffs) <= 1
+            assert max(diffs) <= 1
+
+    def test_accept_always_improving(self):
+        sa = SimulatedAnnealing(seed=0)
+        assert sa._accept(current=10.0, candidate=5.0, temperature=1e-9)
+
+    def test_accept_never_infeasible_candidate(self):
+        sa = SimulatedAnnealing(seed=0)
+        assert not sa._accept(10.0, math.inf, temperature=1e9)
+
+    def test_accept_escapes_infeasible_current(self):
+        sa = SimulatedAnnealing(seed=0)
+        assert sa._accept(math.inf, 10.0, temperature=1e-9)
+
+    def test_worse_accepted_more_at_high_temperature(self):
+        sa = SimulatedAnnealing(seed=0)
+        hot = sum(sa._accept(1.0, 2.0, temperature=100.0)
+                  for _ in range(300))
+        sa_cold = SimulatedAnnealing(seed=0)
+        cold = sum(sa_cold._accept(1.0, 2.0, temperature=0.01)
+                   for _ in range(300))
+        assert hot > cold
+
+
+class TestGeneticInternals:
+    def test_crossover_genes_come_from_parents(self, evaluator):
+        ga = GeneticAlgorithm(seed=0)
+        ga._evaluator = evaluator
+        a = [1, 1] * 4
+        b = [9, 9] * 4
+        child = ga._crossover(a, b)
+        assert all(gene in (1, 9) for gene in child)
+
+    def test_mutation_rate_zero_is_identity(self, evaluator):
+        ga = GeneticAlgorithm(mutation_rate=0.0, seed=0)
+        ga._evaluator = evaluator
+        genome = [3, 4] * 4
+        assert ga._mutate(genome) == genome
+
+    def test_mutation_stays_in_level_range(self, evaluator):
+        ga = GeneticAlgorithm(mutation_rate=1.0, seed=0)
+        ga._evaluator = evaluator
+        for _ in range(20):
+            child = ga._mutate([0, 11] * 4)
+            assert all(0 <= g <= 11 for g in child)
+
+
+class TestBayesianInternals:
+    def test_kernel_diagonal_is_one(self, evaluator):
+        bo = BayesianOptimization(seed=0)
+        bo._evaluator = evaluator
+        x = np.random.default_rng(0).random((5, 8))
+        gram = bo._kernel(x, x)
+        np.testing.assert_allclose(np.diag(gram), np.ones(5), atol=1e-12)
+
+    def test_kernel_decays_with_distance(self, evaluator):
+        bo = BayesianOptimization(seed=0)
+        bo._evaluator = evaluator
+        near = bo._kernel(np.zeros((1, 4)), np.full((1, 4), 0.1))[0, 0]
+        far = bo._kernel(np.zeros((1, 4)), np.full((1, 4), 2.0))[0, 0]
+        assert near > far
+
+    def test_encode_normalizes_to_unit_cube(self, evaluator):
+        bo = BayesianOptimization(seed=0)
+        bo._evaluator = evaluator
+        encoded = bo._encode([11, 11] * 4)
+        np.testing.assert_allclose(encoded, np.ones(8))
+        encoded = bo._encode([0, 0] * 4)
+        np.testing.assert_allclose(encoded, np.zeros(8))
+
+    def test_expected_improvement_prefers_promising_region(self,
+                                                           evaluator):
+        bo = BayesianOptimization(seed=0)
+        bo._evaluator = evaluator
+        # Observed: low objective at 0-corner, high at 1-corner.
+        features = np.array([[0.0] * 8, [1.0] * 8])
+        targets = np.array([1.0, 10.0])
+        candidates = np.array([[0.05] * 8, [0.95] * 8])
+        ei = bo._expected_improvement(candidates, features, targets)
+        assert ei[0] > ei[1]
+
+    def test_infeasible_points_get_penalized_targets(self, cost_model,
+                                                     tiny_model,
+                                                     space_dla):
+        constraint = PlatformConstraint(kind="area", budget=1.0)  # nothing
+        evaluator = DesignPointEvaluator(tiny_model, "latency", constraint,
+                                         cost_model, space_dla,
+                                         dataflow="dla")
+        bo = BayesianOptimization(seed=0, initial_samples=2)
+        bo.search(evaluator, 4)
+        assert len(bo._targets) == 4
+        # All infeasible: targets are stacked penalties, non-decreasing.
+        assert all(b >= a for a, b in zip(bo._targets, bo._targets[1:]))

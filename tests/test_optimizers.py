@@ -1,0 +1,146 @@
+"""Behavioural tests for the five baseline optimizers."""
+
+import pytest
+
+from repro.core.constraints import platform_constraint
+from repro.core.evaluator import DesignPointEvaluator
+from repro.env.spaces import ActionSpace
+from repro.optim import (
+    BASELINE_OPTIMIZERS,
+    BayesianOptimization,
+    GeneticAlgorithm,
+    GridSearch,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+
+
+def make_evaluator(cost_model, layers, platform="cloud",
+                   objective="latency"):
+    space = ActionSpace.build("dla")
+    constraint = platform_constraint(layers, "dla", "area", platform,
+                                     cost_model, space)
+    return DesignPointEvaluator(layers, objective, constraint, cost_model,
+                                space, dataflow="dla")
+
+
+@pytest.mark.parametrize("name", sorted(BASELINE_OPTIMIZERS))
+class TestAllBaselines:
+    def test_runs_within_budget(self, name, cost_model, mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice)
+        optimizer = BASELINE_OPTIMIZERS[name](seed=0)
+        result = optimizer.search(evaluator, 60)
+        assert result.algorithm == name
+        assert result.evaluations <= 60
+        assert len(result.history) == result.evaluations
+
+    def test_finds_feasible_under_loose_constraint(self, name, cost_model,
+                                                   mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice, "cloud")
+        optimizer = BASELINE_OPTIMIZERS[name](seed=1)
+        result = optimizer.search(evaluator, 80)
+        assert result.feasible, f"{name} failed on the cloud tier"
+
+    def test_history_is_monotone_best_so_far(self, name, cost_model,
+                                             mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice)
+        result = BASELINE_OPTIMIZERS[name](seed=0).search(evaluator, 40)
+        finite = [v for v in result.history if v != float("inf")]
+        assert all(b <= a for a, b in zip(finite, finite[1:]))
+
+    def test_rejects_zero_epochs(self, name, cost_model, mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice)
+        with pytest.raises(ValueError):
+            BASELINE_OPTIMIZERS[name](seed=0).search(evaluator, 0)
+
+    def test_best_genome_reevaluates_to_best_cost(self, name, cost_model,
+                                                  mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice)
+        result = BASELINE_OPTIMIZERS[name](seed=2).search(evaluator, 60)
+        if result.best_cost is None:
+            pytest.skip(f"{name} found nothing feasible in 60 evals")
+        outcome = evaluator.evaluate_genome(result.best_genome)
+        assert outcome.feasible
+        assert outcome.cost == pytest.approx(result.best_cost)
+
+
+class TestGridSearch:
+    def test_deterministic(self, cost_model, mobilenet_slice):
+        evaluator1 = make_evaluator(cost_model, mobilenet_slice)
+        evaluator2 = make_evaluator(cost_model, mobilenet_slice)
+        r1 = GridSearch().search(evaluator1, 30)
+        r2 = GridSearch().search(evaluator2, 30)
+        assert r1.history == r2.history
+
+    def test_starts_from_minimum_corner(self, cost_model, mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice)
+        result = GridSearch().search(evaluator, 5)
+        # First sample is the all-minimum genome: tiny and feasible.
+        assert result.history[0] != float("inf")
+
+    def test_insensitive_to_constraint_tier(self, cost_model,
+                                            mobilenet_slice):
+        # The paper's signature grid behaviour (Table IV): the explored
+        # corner barely changes with the constraint, so neither does the
+        # result.
+        loose = GridSearch().search(
+            make_evaluator(cost_model, mobilenet_slice, "cloud"), 40)
+        tight = GridSearch().search(
+            make_evaluator(cost_model, mobilenet_slice, "iotx"), 40)
+        assert loose.best_cost == pytest.approx(tight.best_cost, rel=0.2)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            GridSearch(stride=0)
+
+
+class TestSimulatedAnnealing:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(temperature=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(step=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=0.0)
+
+    def test_fails_under_extreme_constraint(self, cost_model,
+                                            mobilenet_slice):
+        # Table IV: SA cannot enter the feasible region at IoTx with a
+        # small budget -- random restarts land infeasible and stay there.
+        evaluator = make_evaluator(cost_model, mobilenet_slice, "iotx")
+        result = SimulatedAnnealing(seed=0).search(evaluator, 40)
+        assert result.best_cost is None or result.best_cost > 0
+
+
+class TestGeneticAlgorithm:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(population_size=1)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(mutation_rate=1.5)
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(crossover_rate=-0.1)
+
+    def test_improves_over_generations(self, cost_model, mobilenet_slice):
+        evaluator = make_evaluator(cost_model, mobilenet_slice)
+        result = GeneticAlgorithm(population_size=20, seed=0).search(
+            evaluator, 200)
+        first_gen_best = min(
+            v for v in result.history[:20] if v != float("inf"))
+        assert result.best_cost <= first_gen_best
+
+
+class TestBayesianOptimization:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BayesianOptimization(initial_samples=1)
+
+    def test_beats_pure_random_with_same_budget(self, cost_model,
+                                                mobilenet_slice):
+        evaluator_bo = make_evaluator(cost_model, mobilenet_slice)
+        evaluator_rnd = make_evaluator(cost_model, mobilenet_slice)
+        bo = BayesianOptimization(seed=3).search(evaluator_bo, 60)
+        rnd = RandomSearch(seed=3).search(evaluator_rnd, 60)
+        assert bo.feasible
+        # BO should at least match random search given the surrogate.
+        assert bo.best_cost <= rnd.best_cost * 1.3

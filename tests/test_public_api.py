@@ -1,0 +1,100 @@
+"""Contract tests on the public API surface.
+
+Guards the importable surface the README documents: `__all__` integrity,
+docstring presence on every public item, and the lazy exports that keep
+the import graph acyclic.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.models",
+    "repro.costmodel",
+    "repro.nn",
+    "repro.env",
+    "repro.rl",
+    "repro.optim",
+    "repro.ga",
+    "repro.core",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestImportSurface:
+    @pytest.mark.parametrize("name", PUBLIC_MODULES)
+    def test_module_imports_and_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", PUBLIC_MODULES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert getattr(module, symbol, None) is not None, \
+                f"{name}.{symbol} in __all__ but unresolvable"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_exports(self):
+        assert repro.ConfuciuX.__name__ == "ConfuciuX"
+        assert repro.JointSearch.__name__ == "JointSearch"
+        with pytest.raises(AttributeError):
+            repro.DoesNotExist
+
+    def test_core_lazy_exports(self):
+        import repro.core as core
+
+        assert core.ConfuciuX.__name__ == "ConfuciuX"
+        assert core.solution_report is not None
+        with pytest.raises(AttributeError):
+            core.DoesNotExist
+
+
+class TestDocstrings:
+    def _public_members(self, module):
+        for name, member in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if member.__module__.startswith("repro"):
+                    yield name, member
+
+    @pytest.mark.parametrize("name", [
+        "repro.models.layers",
+        "repro.models.zoo",
+        "repro.costmodel.dataflow",
+        "repro.costmodel.estimator",
+        "repro.env.spaces",
+        "repro.env.environment",
+        "repro.rl.reinforce",
+        "repro.ga.local_ga",
+        "repro.core.confuciux",
+        "repro.core.serialization",
+        "repro.optim.base",
+    ])
+    def test_every_public_item_documented(self, name):
+        module = importlib.import_module(name)
+        undocumented = [
+            member_name
+            for member_name, member in self._public_members(module)
+            if not member.__doc__
+        ]
+        assert not undocumented, \
+            f"{name}: undocumented public items {undocumented}"
+
+    def test_registries_consistent(self):
+        from repro.optim import BASELINE_OPTIMIZERS
+        from repro.rl import RL_ALGORITHMS
+
+        # The comparison harness relies on unique, disjoint method names.
+        assert not set(RL_ALGORITHMS) & set(BASELINE_OPTIMIZERS)
+        for name, cls in {**RL_ALGORITHMS, **BASELINE_OPTIMIZERS}.items():
+            assert cls.name == name

@@ -1,0 +1,102 @@
+"""Tests for shared RL utilities: returns, buffers, result records."""
+
+import numpy as np
+import pytest
+
+from repro.rl.common import (
+    ReplayBuffer,
+    SearchResult,
+    discounted_returns,
+    normalize_rewards_for_training,
+    standardize,
+)
+
+
+class TestDiscountedReturns:
+    def test_no_discount_is_suffix_sum(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], discount=1.0)
+        np.testing.assert_allclose(returns, [6.0, 5.0, 3.0])
+
+    def test_full_discount_is_identity(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], discount=0.0)
+        np.testing.assert_allclose(returns, [1.0, 2.0, 3.0])
+
+    def test_paper_default_discount(self):
+        returns = discounted_returns([1.0, 1.0], discount=0.9)
+        np.testing.assert_allclose(returns, [1.9, 1.0])
+
+    def test_rejects_bad_discount(self):
+        with pytest.raises(ValueError):
+            discounted_returns([1.0], discount=1.5)
+
+    def test_empty(self):
+        assert discounted_returns([], 0.9).size == 0
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        values = standardize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert values.std() == pytest.approx(1.0)
+
+    def test_constant_input_no_blowup(self):
+        values = standardize(np.array([5.0, 5.0, 5.0]))
+        np.testing.assert_allclose(values, np.zeros(3))
+
+    def test_pipeline(self):
+        out = normalize_rewards_for_training([1.0, 2.0, 3.0], 0.9)
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestReplayBuffer:
+    def test_add_and_sample(self):
+        buffer = ReplayBuffer(capacity=8, obs_dim=3, action_dim=2)
+        for i in range(5):
+            buffer.add(np.full(3, i), np.zeros(2), float(i), np.full(3, i),
+                       False)
+        assert len(buffer) == 5
+        obs, actions, rewards, next_obs, dones = buffer.sample(
+            4, np.random.default_rng(0))
+        assert obs.shape == (4, 3)
+        assert rewards.shape == (4,)
+
+    def test_wraps_around_capacity(self):
+        buffer = ReplayBuffer(capacity=4, obs_dim=1, action_dim=1)
+        for i in range(10):
+            buffer.add([i], [0], i, [i], False)
+        assert len(buffer) == 4
+        # Oldest entries evicted: all stored observations are from 6..9.
+        assert buffer.obs.min() >= 6
+
+    def test_sample_empty_raises(self):
+        buffer = ReplayBuffer(capacity=4, obs_dim=1, action_dim=1)
+        with pytest.raises(RuntimeError):
+            buffer.sample(2, np.random.default_rng(0))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0, obs_dim=1, action_dim=1)
+
+
+class TestSearchResult:
+    def test_format_cost(self):
+        result = SearchResult(algorithm="x")
+        assert result.format_cost() == "NAN"
+        result.best_cost = 3.14e7
+        assert result.format_cost() == "3.1E+07"
+
+    def test_feasible_flag(self):
+        result = SearchResult(algorithm="x")
+        assert not result.feasible
+        result.best_cost = 1.0
+        assert result.feasible
+
+    def test_record_and_epochs_to_reach(self):
+        result = SearchResult(algorithm="x")
+        result.record(None)
+        result.record(10.0)
+        result.record(5.0)
+        assert result.history == [float("inf"), 10.0, 5.0]
+        assert result.epochs_to_reach(10.0) == 1
+        assert result.epochs_to_reach(7.0) == 2
+        assert result.epochs_to_reach(1.0) is None

@@ -1,0 +1,85 @@
+"""Tests for JSON serialization of search results."""
+
+import json
+
+import pytest
+
+from repro import ConfuciuX
+from repro.core.serialization import (
+    confuciux_result_to_dict,
+    load_search_result,
+    save_confuciux_result,
+    save_search_result,
+    search_result_from_dict,
+    search_result_to_dict,
+)
+from repro.rl.common import SearchResult
+
+
+@pytest.fixture
+def populated_result():
+    result = SearchResult(algorithm="reinforce")
+    result.best_cost = 1.5e7
+    result.best_assignments = ((16, 39), (8, 29))
+    result.best_genome = [5, 2, 3, 1]
+    result.history = [float("inf"), 2e7, 1.5e7]
+    result.evaluations = 100
+    result.episodes = 50
+    result.wall_time_s = 1.25
+    result.memory_bytes = 1024
+    return result
+
+
+class TestSearchResultRoundtrip:
+    def test_dict_roundtrip(self, populated_result):
+        data = search_result_to_dict(populated_result)
+        restored = search_result_from_dict(data)
+        assert restored.algorithm == "reinforce"
+        assert restored.best_cost == populated_result.best_cost
+        assert restored.best_assignments == \
+            populated_result.best_assignments
+        assert restored.history == populated_result.history
+
+    def test_infinity_encoded_as_null(self, populated_result):
+        data = search_result_to_dict(populated_result)
+        assert data["history"][0] is None
+        text = json.dumps(data)  # valid strict JSON
+        assert "Infinity" not in text
+
+    def test_file_roundtrip(self, populated_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_search_result(populated_result, path)
+        restored = load_search_result(path)
+        assert restored.best_cost == populated_result.best_cost
+        assert restored.evaluations == 100
+
+    def test_infeasible_result_roundtrip(self, tmp_path):
+        result = SearchResult(algorithm="sa")
+        result.history = [float("inf")] * 3
+        path = tmp_path / "nan.json"
+        save_search_result(result, path)
+        restored = load_search_result(path)
+        assert restored.best_cost is None
+        assert not restored.feasible
+        assert restored.format_cost() == "NAN"
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            search_result_from_dict({"algorithm": "x"})
+
+
+class TestConfuciuXResultSerialization:
+    def test_two_stage_summary(self, cost_model, mobilenet_slice,
+                               tmp_path):
+        pipeline = ConfuciuX(mobilenet_slice, platform="cloud", seed=0,
+                             cost_model=cost_model)
+        result = pipeline.run(global_epochs=20, finetune_generations=5)
+        data = confuciux_result_to_dict(result)
+        assert data["best_cost"] == result.best_cost
+        assert data["constraint"]["kind"] == "area"
+        assert data["global_result"]["algorithm"] == "reinforce"
+        assert data["finetune_result"]["algorithm"] == "local-ga"
+        path = tmp_path / "confuciux.json"
+        save_confuciux_result(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["objective"] == "latency"

@@ -1,0 +1,141 @@
+"""Tests for the Table-I action space and observation encoding."""
+
+import numpy as np
+import pytest
+
+from repro.env.observation import OBSERVATION_DIM, ObservationEncoder
+from repro.env.spaces import ActionSpace, canonical_pe_levels
+from repro.models import get_model
+
+
+class TestPELevels:
+    def test_l12_matches_table1(self):
+        assert canonical_pe_levels(12) == [
+            1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128]
+
+    @pytest.mark.parametrize("levels", [10, 12, 14])
+    def test_strictly_increasing_and_sized(self, levels):
+        ladder = canonical_pe_levels(levels)
+        assert len(ladder) == levels
+        assert all(b > a for a, b in zip(ladder, ladder[1:]))
+        assert ladder[0] == 1
+        assert ladder[-1] == 128
+
+    def test_custom_ceiling(self):
+        ladder = canonical_pe_levels(8, max_pes=256)
+        assert ladder[-1] == 256
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            canonical_pe_levels(1)
+        with pytest.raises(ValueError):
+            canonical_pe_levels(12, max_pes=4)
+
+
+class TestActionSpace:
+    def test_build_dla_table1(self, space_dla):
+        assert space_dla.pe_levels == (1, 2, 4, 8, 12, 16, 24, 32, 48, 64,
+                                       96, 128)
+        assert space_dla.buf_levels == (19, 29, 39, 49, 59, 69, 79, 89, 99,
+                                        109, 119, 129)
+        assert not space_dla.is_mix
+        assert space_dla.actions_per_step == 2
+        assert space_dla.head_sizes == (12, 12)
+
+    def test_mix_space(self, space_mix):
+        assert space_mix.is_mix
+        assert space_mix.actions_per_step == 3
+        assert space_mix.head_sizes == (12, 12, 3)
+        assert len(space_mix.buf_levels) == 12
+
+    def test_decode(self, space_dla):
+        assert space_dla.decode((0, 0)) == (1, 19)
+        assert space_dla.decode((11, 11)) == (128, 129)
+        assert space_dla.decode((4, 2)) == (12, 39)
+
+    def test_decode_mix_includes_style(self, space_mix):
+        decoded = space_mix.decode((0, 0, 1))
+        assert len(decoded) == 3
+        assert decoded[2] in ("dla", "shi", "eye")
+
+    def test_decode_validates(self, space_dla):
+        with pytest.raises(ValueError):
+            space_dla.decode((0,))
+        with pytest.raises(ValueError):
+            space_dla.decode((12, 0))
+        with pytest.raises(ValueError):
+            space_dla.decode((0, -1))
+
+    def test_max_action(self, space_dla, space_mix):
+        assert space_dla.max_action() == (11, 11)
+        assert space_mix.max_action() == (11, 11, 0)
+
+    def test_nearest_levels(self, space_dla):
+        assert space_dla.nearest_levels(13, 40) == (4, 2)
+        assert space_dla.nearest_levels(1000, 1000) == (11, 11)
+        assert space_dla.nearest_levels(1, 1) == (0, 0)
+
+    def test_design_space_size_magnitude(self, space_dla):
+        # Section I: O(10^72) for 128 PEs/bufs over 52 layers; the paper's
+        # Section IV-C4 quotes 12^104 = O(10^112) for the level space.
+        size = space_dla.design_space_size(num_layers=52)
+        assert size == pytest.approx(144.0 ** 52)
+        assert 1e111 < size < 1e113
+
+    def test_validation_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            ActionSpace(pe_levels=(4, 2), buf_levels=(19, 29))
+        with pytest.raises(ValueError):
+            ActionSpace(pe_levels=(2, 4), buf_levels=(29, 19))
+        with pytest.raises(ValueError):
+            ActionSpace(pe_levels=(2, 4, 8), buf_levels=(19, 29))
+
+    @pytest.mark.parametrize("levels", [10, 14])
+    def test_table9_level_sweeps(self, levels):
+        space = ActionSpace.build("dla", num_levels=levels)
+        assert space.num_levels == levels
+        assert space.head_sizes == (levels, levels)
+
+
+class TestObservationEncoder:
+    def test_dimension_is_10(self, mobilenet_slice, space_dla):
+        encoder = ObservationEncoder.for_model(mobilenet_slice, space_dla)
+        obs = encoder.encode(mobilenet_slice[0], 0, None)
+        assert obs.shape == (OBSERVATION_DIM,)
+
+    def test_values_in_unit_range(self, mobilenet_slice, space_dla):
+        encoder = ObservationEncoder.for_model(mobilenet_slice, space_dla)
+        for step, layer in enumerate(mobilenet_slice):
+            for prev in (None, (0, 0), (11, 11)):
+                obs = encoder.encode(layer, step, prev)
+                assert np.all(obs >= -1.0) and np.all(obs <= 1.0)
+
+    def test_previous_action_encoded(self, mobilenet_slice, space_dla):
+        encoder = ObservationEncoder.for_model(mobilenet_slice, space_dla)
+        low = encoder.encode(mobilenet_slice[0], 0, (0, 0))
+        high = encoder.encode(mobilenet_slice[0], 0, (11, 11))
+        assert low[7] == -1.0 and low[8] == -1.0
+        assert high[7] == 1.0 and high[8] == 1.0
+
+    def test_time_dimension_progresses(self, mobilenet_slice, space_dla):
+        encoder = ObservationEncoder.for_model(mobilenet_slice, space_dla)
+        first = encoder.encode(mobilenet_slice[0], 0, None)[9]
+        last = encoder.encode(mobilenet_slice[-1],
+                              len(mobilenet_slice) - 1, None)[9]
+        assert first == -1.0 and last == 1.0
+
+    def test_rejects_empty_model(self, space_dla):
+        with pytest.raises(ValueError):
+            ObservationEncoder.for_model([], space_dla)
+
+    def test_encode_all(self, mobilenet_slice, space_dla):
+        encoder = ObservationEncoder.for_model(mobilenet_slice, space_dla)
+        encodings = encoder.encode_all(mobilenet_slice)
+        assert len(encodings) == len(mobilenet_slice)
+
+    def test_distinguishes_layer_types(self, space_dla):
+        layers = get_model("mobilenet_v2")[:5]
+        encoder = ObservationEncoder.for_model(layers, space_dla)
+        conv_obs = encoder.encode(layers[0], 0, None)
+        dw_obs = encoder.encode(layers[1], 1, None)
+        assert conv_obs[6] != dw_obs[6]

@@ -1,0 +1,130 @@
+"""Tests for the model zoo: structures match the published architectures."""
+
+import pytest
+
+from repro.models import (
+    MODEL_REGISTRY,
+    get_model,
+    gnmt,
+    list_models,
+    mnasnet,
+    mobilenet_v2,
+    ncf,
+    resnet50,
+    transformer,
+)
+from repro.models.layers import LayerType
+
+
+class TestRegistry:
+    def test_lists_six_models(self):
+        assert list_models() == [
+            "mobilenet_v2", "mnasnet", "resnet50", "gnmt", "transformer",
+            "ncf",
+        ]
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("vgg16")
+
+    @pytest.mark.parametrize("name", list(MODEL_REGISTRY))
+    def test_builders_return_fresh_lists(self, name):
+        first = get_model(name)
+        second = get_model(name)
+        assert first is not second
+        assert first == second
+
+    @pytest.mark.parametrize("name", list(MODEL_REGISTRY))
+    def test_unique_layer_names(self, name):
+        names = [layer.name for layer in get_model(name)]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("name", list(MODEL_REGISTRY))
+    def test_all_dims_positive(self, name):
+        for layer in get_model(name):
+            assert min(layer.K, layer.C, layer.Y, layer.X, layer.R,
+                       layer.S) >= 1
+
+
+class TestMobileNetV2:
+    def test_has_52_layers(self):
+        # The paper repeatedly quotes "the 52-layer MobileNet-V2".
+        assert len(mobilenet_v2()) == 52
+
+    def test_17_depthwise_blocks(self):
+        layers = mobilenet_v2()
+        dw = [l for l in layers if l.layer_type is LayerType.DWCONV]
+        assert len(dw) == 17
+
+    def test_stem_and_head(self):
+        layers = mobilenet_v2()
+        assert layers[0].layer_type is LayerType.CONV
+        assert layers[0].K == 32 and layers[0].stride == 2
+        assert layers[-1].K == 1280
+
+    def test_total_macs_close_to_reference(self):
+        # Reference MobileNet-V2 @224 is ~300M MACs; valid-padding
+        # bookkeeping keeps us within 15%.
+        total = sum(l.macs for l in mobilenet_v2())
+        assert 2.5e8 < total < 3.5e8
+
+    def test_spatial_sizes_decrease(self):
+        layers = mobilenet_v2()
+        assert layers[0].Y == 224
+        assert layers[-1].Y == 7
+
+
+class TestResNet50:
+    def test_has_53_mac_layers(self):
+        # 49 bottleneck convs + 4 projection shortcuts.
+        assert len(resnet50()) == 53
+
+    def test_four_shortcuts(self):
+        shortcuts = [l for l in resnet50() if "shortcut" in l.name]
+        assert len(shortcuts) == 4
+
+    def test_total_macs_close_to_reference(self):
+        # ~3.8G MACs for ResNet-50 @224.
+        total = sum(l.macs for l in resnet50())
+        assert 3.0e9 < total < 4.5e9
+
+    def test_final_channels(self):
+        assert resnet50()[-1].K == 2048
+
+
+class TestMnasNet:
+    def test_structure(self):
+        layers = mnasnet()
+        assert layers[0].K == 32
+        assert layers[-1].K == 1280
+        dw = [l for l in layers if l.layer_type is LayerType.DWCONV]
+        assert len(dw) == 16
+
+    def test_has_5x5_kernels(self):
+        # MnasNet-A1's distinguishing feature vs MobileNet-V2.
+        assert any(l.R == 5 for l in mnasnet())
+
+
+class TestGemmModels:
+    def test_gnmt_structure(self):
+        layers = gnmt()
+        assert all(l.layer_type is LayerType.GEMM for l in layers)
+        assert len(layers) == 19  # 8 enc + 2 attention + 8 dec + proj
+        assert layers[-1].K == 32000
+
+    def test_transformer_structure(self):
+        layers = transformer()
+        assert all(l.layer_type is LayerType.GEMM for l in layers)
+        # 6 enc x 6 + 6 dec x 10 + vocab projection.
+        assert len(layers) == 6 * 6 + 6 * 10 + 1
+
+    def test_ncf_structure(self):
+        layers = ncf()
+        assert all(l.layer_type is LayerType.GEMM for l in layers)
+        assert layers[-1].K == 1  # scalar prediction head
+
+    def test_gnmt_parameterization(self):
+        layers = gnmt(seq_len=64, hidden=512, vocab=1000)
+        assert layers[0].K == 4 * 512
+        assert layers[0].Y == 64
+        assert layers[-1].K == 1000
