@@ -4,6 +4,9 @@ Sweeps PEs 1..64 and the filter tile (hence the L1 buffer size) for layers
 12 and 34 (CONV) and 23 (DWCONV) under the NVDLA-style dataflow, reporting
 the latency/energy/area ranges and the spread at fixed area -- the paper's
 argument that the space is huge and no design point wins everywhere.
+
+Each per-layer sweep is a single batched estimator evaluation instead of a
+scalar call per design point (see PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -20,14 +23,17 @@ LAYER_INDICES = {"layer12_conv": 12, "layer34_conv": 34, "layer23_dwconv": 23}
 
 def sweep_layer(cost_model, layer, max_pes=64, max_tile=64):
     dla = NVDLAStyle()
-    points = []
-    for pes in range(1, max_pes + 1, 3):
-        for tile in range(1, max_tile + 1, 3):
-            l1_bytes = dla.l1_requirement(layer, tile)
-            report = cost_model.evaluate_layer(layer, "dla", pes, l1_bytes)
-            points.append((pes, l1_bytes, report.latency_cycles,
-                           report.energy_nj, report.area_um2))
-    return points
+    pe_values = np.arange(1, max_pes + 1, 3, dtype=np.int64)
+    l1_values = np.array(
+        [dla.l1_requirement(layer, tile)
+         for tile in range(1, max_tile + 1, 3)], dtype=np.int64)
+    pes = np.repeat(pe_values, len(l1_values))
+    l1_bytes = np.tile(l1_values, len(pe_values))
+    batch = cost_model.evaluate_layer_batch(layer, "dla", pes, l1_bytes)
+    return list(zip(pes.tolist(), l1_bytes.tolist(),
+                    batch.latency_cycles.tolist(),
+                    batch.energy_nj.tolist(),
+                    batch.area_um2.tolist()))
 
 
 def test_fig04_design_space(benchmark, cost_model, save_report):

@@ -5,6 +5,10 @@ three example layers, (b) the per-layer optima showing no pair suits every
 layer, and (c) the end-to-end LS comparison of Heuristic A (size for the
 most compute-intensive layer) vs Heuristic B (best uniform end-to-end) vs
 the per-layer optimal lower bound.
+
+Every contour grid and the exhaustive uniform sweep behind Heuristic B are
+single batched estimator evaluations (see PERFORMANCE.md) -- the numbers
+are bit-identical to the old per-pair scalar loops.
 """
 
 from __future__ import annotations

@@ -155,11 +155,16 @@ class ConfuciuX:
         self.env = HWAssignmentEnv(
             self.layers, self.space, objective, constraint, self.cost_model,
             dataflow=self.dataflow)
+        self._raw_evaluator: Optional[DesignPointEvaluator] = None
 
     # ------------------------------------------------------------------
     def run(self, global_epochs: int = 500,
             finetune_generations: int = 200) -> ConfuciuXResult:
         """Run both stages; set ``finetune_generations=0`` to skip stage 2."""
+        # Fresh evaluation counters per run: the evaluator is shared
+        # between the fine-tune stage and the utilization measurement
+        # within one run, but must not leak counts across runs.
+        self._raw_evaluator = None
         agent = Reinforce(policy=self.policy, seed=self.seed,
                           **self.reinforce_kwargs)
         global_result = agent.search(self.env, global_epochs)
@@ -178,23 +183,26 @@ class ConfuciuX:
         result._final_used = self._used_of_best(result)
         return result
 
+    def _evaluator(self) -> DesignPointEvaluator:
+        """The raw-space evaluator, built once and shared between the
+        fine-tune stage and the final utilization measurement."""
+        if self._raw_evaluator is None:
+            self._raw_evaluator = DesignPointEvaluator(
+                self.layers, self.objective, self.constraint,
+                self.cost_model, self.space, dataflow=self.dataflow)
+        return self._raw_evaluator
+
     def _finetune(self, global_result: SearchResult,
                   generations: int) -> SearchResult:
-        evaluator = DesignPointEvaluator(
-            self.layers, self.objective, self.constraint, self.cost_model,
-            self.space, dataflow=self.dataflow)
         max_l1 = 2 * max(self.space.buf_levels)
         max_pes = max(self.space.pe_levels)
         ga = LocalGA(seed=self.seed, max_pes=max_pes, max_l1_bytes=max_l1,
                      **self.ga_kwargs)
-        return ga.search(evaluator, global_result.best_assignments,
+        return ga.search(self._evaluator(), global_result.best_assignments,
                          generations)
 
     def _used_of_best(self, result: ConfuciuXResult) -> float:
         assignments = result.best_assignments
         if assignments is None:
             return 0.0
-        evaluator = DesignPointEvaluator(
-            self.layers, self.objective, self.constraint, self.cost_model,
-            self.space, dataflow=self.dataflow)
-        return evaluator.evaluate_raw(assignments).used
+        return self._evaluator().evaluate_raw(assignments).used

@@ -13,7 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.core.constraints import PlatformConstraint, ResourceConstraint
+from repro.costmodel.batched import (
+    STYLE_INDEX,
+    LayerTable,
+    objective_totals,
+    ordered_row_sum,
+)
 from repro.costmodel.estimator import CostModel
 from repro.costmodel.report import ModelCostReport, UtilizationReport
 from repro.env.spaces import ActionSpace
@@ -79,6 +87,7 @@ class DesignPointEvaluator:
         self.dataflow = dataflow
         self.deployment = deployment
         self.evaluations = 0
+        self._table: Optional[LayerTable] = None
 
     # ------------------------------------------------------------------
     @property
@@ -126,6 +135,178 @@ class DesignPointEvaluator:
             used=used,
             report=report,
         )
+
+    # ------------------------------------------------------------------
+    # Population (batched) evaluation
+    # ------------------------------------------------------------------
+    def evaluate_population(
+        self, genomes: Sequence[Sequence[int]]
+    ) -> List[EvalResult]:
+        """Evaluate a whole population of level-index genomes as one batch.
+
+        The genomes are decoded with array indexing and evaluated through
+        the vectorized estimator, including vectorized constraint checks
+        for both platform (area/power) and FPGA resource budgets.  The
+        returned costs, feasibility flags, and used-budget figures are
+        bit-identical to calling :meth:`evaluate_genome` per genome; the
+        per-result :class:`ModelCostReport` carries the aggregate figures
+        with an empty ``per_layer`` list (population consumers only read
+        the aggregates).
+        """
+        genomes = list(genomes)
+        if not genomes:
+            return []
+        try:
+            genes = np.asarray(genomes, dtype=np.int64)
+        except ValueError:
+            raise ValueError(
+                f"population genomes must all have length "
+                f"{self.genome_length}"
+            ) from None
+        if genes.ndim != 2 or genes.shape[1] != self.genome_length:
+            raise ValueError(
+                f"population genomes must all have length "
+                f"{self.genome_length}, got shape {genes.shape}"
+            )
+        per_step = self.space.actions_per_step
+        pe_idx = genes[:, 0::per_step]
+        buf_idx = genes[:, 1::per_step]
+        num_levels = self.space.num_levels
+        if pe_idx.min() < 0 or pe_idx.max() >= num_levels:
+            raise ValueError("PE level index out of range")
+        if buf_idx.min() < 0 or buf_idx.max() >= num_levels:
+            raise ValueError("buffer level index out of range")
+        pes = np.asarray(self.space.pe_levels, dtype=np.int64)[pe_idx]
+        l1_bytes = np.asarray(self.space.buf_levels, dtype=np.int64)[buf_idx]
+        if self.space.is_mix:
+            df_idx = genes[:, 2::per_step]
+            if df_idx.min() < 0 or df_idx.max() >= len(self.space.dataflows):
+                raise ValueError("dataflow index out of range")
+            lut = np.asarray(
+                [STYLE_INDEX[s] for s in self.space.dataflows],
+                dtype=np.int64)
+            style_idx = lut[df_idx]
+        else:
+            style_idx = np.full(pes.shape, STYLE_INDEX[self.dataflow],
+                                dtype=np.int64)
+        return self._evaluate_population_arrays(pes, l1_bytes, style_idx)
+
+    def evaluate_population_raw(
+        self, populations: Sequence[Sequence[RawAssignment]]
+    ) -> List[EvalResult]:
+        """Batched :meth:`evaluate_raw` over many complete assignments.
+
+        Used by the stage-2 GA, whose candidates live in the raw integer
+        space rather than the level-index space.
+        """
+        populations = list(populations)
+        if not populations:
+            return []
+        num_layers = len(self.layers)
+        default = (STYLE_INDEX[self.dataflow]
+                   if self.dataflow is not None else None)
+        pes_rows, l1_rows, style_rows = [], [], []
+        for assignments in populations:
+            if len(assignments) != num_layers:
+                raise ValueError(
+                    f"got {num_layers} layers but {len(assignments)} "
+                    f"assignments"
+                )
+            pes_rows.append([a[0] for a in assignments])
+            l1_rows.append([a[1] for a in assignments])
+            row = []
+            for a in assignments:
+                if len(a) == 3:
+                    try:
+                        row.append(STYLE_INDEX[a[2]])
+                    except KeyError:
+                        raise KeyError(
+                            f"unknown dataflow style {a[2]!r}; available: "
+                            f"{', '.join(STYLE_INDEX)}"
+                        ) from None
+                elif default is not None:
+                    row.append(default)
+                else:
+                    raise ValueError(
+                        "assignment lacks a dataflow and no default was "
+                        "given"
+                    )
+            style_rows.append(row)
+        return self._evaluate_population_arrays(
+            np.asarray(pes_rows, dtype=np.int64),
+            np.asarray(l1_rows, dtype=np.int64),
+            np.asarray(style_rows, dtype=np.int64),
+        )
+
+    def _evaluate_population_arrays(
+        self, pes: np.ndarray, l1_bytes: np.ndarray, style_idx: np.ndarray
+    ) -> List[EvalResult]:
+        """Shared batched core: (G, N) design arrays -> per-genome results."""
+        population, num_layers = pes.shape
+        self.evaluations += population
+        if self._table is None:
+            self._table = LayerTable.build(self.layers)
+        if self.deployment == "ls":
+            # One shared design point runs every layer: broadcast each
+            # genome's first assignment across the model.
+            pes = np.repeat(pes[:, :1], num_layers, axis=1)
+            l1_bytes = np.repeat(l1_bytes[:, :1], num_layers, axis=1)
+            style_idx = np.repeat(style_idx[:, :1], num_layers, axis=1)
+        layer_idx = np.tile(np.arange(num_layers, dtype=np.int64),
+                            population)
+        batch = self.cost_model.batched.evaluate(
+            self._table, layer_idx, style_idx.reshape(-1),
+            pes.reshape(-1), l1_bytes.reshape(-1))
+
+        latency = batch.latency_cycles.reshape(population, num_layers)
+        energy = batch.energy_nj.reshape(population, num_layers)
+        area = batch.area_um2.reshape(population, num_layers)
+        power = batch.power_mw.reshape(population, num_layers)
+        latency_total = ordered_row_sum(latency)
+        energy_total = ordered_row_sum(energy)
+        if self.deployment == "ls":
+            area_total = area.max(axis=1)
+            power_total = power.max(axis=1)
+        else:
+            area_total = ordered_row_sum(area)
+            power_total = ordered_row_sum(power)
+        cost = objective_totals(latency_total, energy_total, self.objective)
+
+        constraint = self.constraint
+        if isinstance(constraint, ResourceConstraint):
+            if self.deployment == "ls":
+                total_pes = pes[:, 0]
+                total_l1 = pes[:, 0] * l1_bytes[:, 0]
+            else:
+                total_pes = pes.sum(axis=1)
+                total_l1 = (pes * l1_bytes).sum(axis=1)
+            feasible = ((total_pes <= constraint.max_pes)
+                        & (total_l1 <= constraint.max_l1_bytes))
+            used = total_pes.astype(np.float64)
+        else:
+            used = area_total if constraint.kind == "area" else power_total
+            feasible = used <= constraint.budget
+
+        # tolist() converts to native Python scalars in one pass, which is
+        # markedly cheaper than per-element float() on numpy scalars.
+        results: List[EvalResult] = []
+        for lat, en, ar, po, co, fe, us in zip(
+                latency_total.tolist(), energy_total.tolist(),
+                area_total.tolist(), power_total.tolist(), cost.tolist(),
+                feasible.tolist(), used.tolist()):
+            results.append(EvalResult(
+                cost=co,
+                feasible=fe,
+                used=us,
+                report=ModelCostReport(
+                    latency_cycles=lat,
+                    energy_nj=en,
+                    area_um2=ar,
+                    power_mw=po,
+                    per_layer=[],
+                ),
+            ))
+        return results
 
     def _check(self, report: ModelCostReport,
                assignments: Sequence[RawAssignment]) -> Tuple[float, bool]:

@@ -34,6 +34,7 @@ def search_result_to_dict(result: SearchResult) -> dict:
         "best_genome": result.best_genome,
         "history": _encode_history(result.history),
         "evaluations": result.evaluations,
+        "cache_hits": result.cache_hits,
         "episodes": result.episodes,
         "wall_time_s": result.wall_time_s,
         "memory_bytes": result.memory_bytes,
@@ -55,6 +56,8 @@ def search_result_from_dict(data: dict) -> SearchResult:
     result.best_genome = data["best_genome"]
     result.history = _decode_history(data["history"])
     result.evaluations = data["evaluations"]
+    # Documents written before the batched engine lack the hit counter.
+    result.cache_hits = data.get("cache_hits", 0)
     result.episodes = data["episodes"]
     result.wall_time_s = data["wall_time_s"]
     result.memory_bytes = data["memory_bytes"]

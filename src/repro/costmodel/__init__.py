@@ -14,13 +14,21 @@ calibration.
 from repro.costmodel.constants import HardwareConfig, DEFAULT_HW
 from repro.costmodel.dataflow import (
     DATAFLOWS,
+    BatchDims,
+    BatchPlan,
     Dataflow,
     EyerissStyle,
     NVDLAStyle,
     ShiDianNaoStyle,
     get_dataflow,
 )
-from repro.costmodel.report import CostReport, ModelCostReport
+from repro.costmodel.report import BatchCostReport, CostReport, ModelCostReport
+from repro.costmodel.batched import (
+    BATCH_STYLES,
+    STYLE_INDEX,
+    BatchedCostModel,
+    LayerTable,
+)
 from repro.costmodel.estimator import CostModel
 
 __all__ = [
@@ -31,8 +39,15 @@ __all__ = [
     "EyerissStyle",
     "ShiDianNaoStyle",
     "DATAFLOWS",
+    "BatchDims",
+    "BatchPlan",
     "get_dataflow",
     "CostReport",
     "ModelCostReport",
+    "BatchCostReport",
+    "BATCH_STYLES",
+    "STYLE_INDEX",
+    "BatchedCostModel",
+    "LayerTable",
     "CostModel",
 ]

@@ -14,6 +14,7 @@ in milliwatts exactly ``energy_pj / latency_cycles``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,15 @@ class HardwareConfig:
     l1_accesses_per_mac: float = 2.0
     l2_sizing_factor: float = 1.0
     pipeline_fill_cycles: int = 32
+
+    @cached_property
+    def l2_double_sizing(self) -> float:
+        """``2 * l2_sizing_factor`` -- the constant factor of the L2
+        capacity rule, precomputed once because both the scalar and the
+        batched estimator apply it per design point.  Multiplying the
+        prefolded constant first keeps the two paths bit-identical with the
+        original ``2.0 * factor * pes * l1`` expression."""
+        return 2.0 * self.l2_sizing_factor
 
     def __post_init__(self) -> None:
         for name in (

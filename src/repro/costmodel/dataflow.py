@@ -27,10 +27,17 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.models.layers import Layer, LayerType
 
 
 def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _ceil_div_arr(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ceiling division for non-negative integer arrays."""
     return -(-a // b)
 
 
@@ -54,6 +61,41 @@ class SpatialPlan:
     input_fetches: float
     output_fetches: float
     tile_k: int
+
+
+@dataclass(frozen=True)
+class BatchDims:
+    """Layer shape dimensions gathered into arrays, one row per batch element.
+
+    The batched estimator evaluates a whole population of design points at
+    once; each element carries the dimensions of the layer it targets so the
+    style-specific mapping logic can run as array arithmetic.  All arrays are
+    ``int64`` except ``is_dw`` (bool).
+    """
+
+    K: np.ndarray
+    C: np.ndarray
+    out_y: np.ndarray
+    out_x: np.ndarray
+    R: np.ndarray
+    S: np.ndarray
+    is_dw: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Array-valued counterpart of :class:`SpatialPlan` for a whole batch.
+
+    ``units``, ``unit_macs``, and ``tile_k`` are ``int64``; the fetch counts
+    are ``float64``, exactly mirroring the scalar record's types.
+    """
+
+    units: np.ndarray
+    unit_macs: np.ndarray
+    weight_fetches: np.ndarray
+    input_fetches: np.ndarray
+    output_fetches: np.ndarray
+    tile_k: np.ndarray
 
 
 class Dataflow:
@@ -97,6 +139,16 @@ class Dataflow:
 
     def plan(self, layer: Layer, pes: int, l1_bytes: int) -> SpatialPlan:
         """Map ``layer`` onto ``pes`` PEs with ``l1_bytes`` of L1 each."""
+        raise NotImplementedError
+
+    def plan_batch(self, dims: BatchDims, pes: np.ndarray,
+                   l1_bytes: np.ndarray) -> BatchPlan:
+        """Vectorized :meth:`plan` over a batch of (layer, pes, l1) rows.
+
+        Every arithmetic step mirrors the scalar path's expression order so
+        the two produce bit-identical numbers; DWCONV rows are computed with
+        the same formulas and selected with masks.
+        """
         raise NotImplementedError
 
     def _footprint(self, layer: Layer) -> Tuple[int, int]:
@@ -162,6 +214,34 @@ class NVDLAStyle(Dataflow):
             tile_k=k,
         )
 
+    def plan_batch(self, dims: BatchDims, pes: np.ndarray,
+                   l1_bytes: np.ndarray) -> BatchPlan:
+        window = dims.R * dims.S
+        out = dims.out_y * dims.out_x
+        k_fit = np.maximum(1, (l1_bytes - window) // (window + 1))
+        k = np.maximum(1, np.minimum(k_fit, dims.K))
+        k_tiles = _ceil_div_arr(dims.K, k)
+        units = k_tiles * dims.C
+        unit_macs = k * out * window
+        co_resident_ktiles = np.maximum(
+            1, np.minimum(k_tiles, pes // np.maximum(1, dims.C)))
+        input_fetches = _ceil_div_arr(k_tiles, co_resident_ktiles)
+        c_spatial = np.maximum(
+            1, np.minimum(dims.C, np.where(pes >= k_tiles,
+                                           pes // k_tiles, 1)))
+        output_fetches = _ceil_div_arr(dims.C, c_spatial)
+        dw = dims.is_dw
+        return BatchPlan(
+            units=np.where(dw, dims.C, units),
+            unit_macs=np.where(dw, out * window, unit_macs),
+            weight_fetches=np.ones(len(dw), dtype=np.float64),
+            input_fetches=np.where(dw, 1, input_fetches)
+            .astype(np.float64),
+            output_fetches=np.where(dw, 1, output_fetches)
+            .astype(np.float64),
+            tile_k=np.where(dw, 1, k),
+        )
+
 
 class EyerissStyle(Dataflow):
     """Row-stationary; parallelizes output rows (Y) and filter rows (R).
@@ -209,6 +289,39 @@ class EyerissStyle(Dataflow):
             tile_k=k,
         )
 
+    def plan_batch(self, dims: BatchDims, pes: np.ndarray,
+                   l1_bytes: np.ndarray) -> BatchPlan:
+        k_fit = np.maximum(1, (l1_bytes - dims.S) // (dims.S + 1))
+        dw = dims.is_dw
+        cap = np.where(dw, dims.C, dims.K)
+        k = np.maximum(1, np.minimum(k_fit, cap))
+        channel_tiles = _ceil_div_arr(cap, k)
+        unit_macs = np.where(
+            dw,
+            k * dims.out_x * dims.S,
+            k * dims.C * dims.out_x * dims.S,
+        )
+        units = dims.out_y * dims.R * channel_tiles
+        row_parallel = dims.out_y * dims.R
+        co_resident_rows = np.maximum(
+            1, np.minimum(dims.out_y, pes // np.maximum(1, dims.R)))
+        weight_fetches = _ceil_div_arr(dims.out_y, co_resident_rows) \
+            .astype(np.float64)
+        co_resident_ktiles = np.maximum(
+            1, np.minimum(channel_tiles, pes // np.maximum(1, row_parallel)))
+        input_fetches = _ceil_div_arr(channel_tiles, co_resident_ktiles) \
+            .astype(np.float64)
+        output_fetches = np.where(pes >= dims.R, 1.0,
+                                  dims.R.astype(np.float64))
+        return BatchPlan(
+            units=units,
+            unit_macs=unit_macs,
+            weight_fetches=weight_fetches,
+            input_fetches=input_fetches,
+            output_fetches=output_fetches,
+            tile_k=k,
+        )
+
 
 class ShiDianNaoStyle(Dataflow):
     """Output-stationary; parallelizes the output plane (Y and X).
@@ -247,6 +360,31 @@ class ShiDianNaoStyle(Dataflow):
             weight_fetches=weight_fetches,
             input_fetches=input_fetches,
             output_fetches=1.0,
+            tile_k=k,
+        )
+
+    def plan_batch(self, dims: BatchDims, pes: np.ndarray,
+                   l1_bytes: np.ndarray) -> BatchPlan:
+        window = dims.R * dims.S
+        out = dims.out_y * dims.out_x
+        k_fit = np.maximum(1, (l1_bytes - (window + dims.S)) // 2)
+        dw = dims.is_dw
+        cap = np.where(dw, dims.C, dims.K)
+        k = np.maximum(1, np.minimum(k_fit, cap))
+        channel_tiles = _ceil_div_arr(cap, k)
+        unit_macs = np.where(
+            dw,
+            k * dims.R * dims.S,
+            k * dims.C * dims.R * dims.S,
+        )
+        units = out * channel_tiles
+        passes = _ceil_div_arr(units, np.maximum(1, np.minimum(pes, units)))
+        return BatchPlan(
+            units=units,
+            unit_macs=unit_macs,
+            weight_fetches=passes.astype(np.float64),
+            input_fetches=1.0 + 0.25 * (passes - 1),
+            output_fetches=np.ones(len(dw), dtype=np.float64),
             tile_k=k,
         )
 

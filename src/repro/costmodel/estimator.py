@@ -24,9 +24,10 @@ import math
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.costmodel.batched import BatchedCostModel
 from repro.costmodel.constants import DEFAULT_HW, HardwareConfig
 from repro.costmodel.dataflow import Dataflow, get_dataflow
-from repro.costmodel.report import CostReport, ModelCostReport
+from repro.costmodel.report import BatchCostReport, CostReport, ModelCostReport
 from repro.models.layers import Layer
 
 #: An assignment for one layer: (PEs, L1 bytes) or (PEs, L1 bytes, dataflow).
@@ -47,6 +48,29 @@ class CostModel:
         self._evaluate_cached = lru_cache(maxsize=cache_size)(
             self._evaluate_uncached
         )
+        self._batched: Optional[BatchedCostModel] = None
+
+    @property
+    def batched(self) -> BatchedCostModel:
+        """The vectorized engine sharing this model's hardware constants.
+
+        Lazily constructed; callers evaluating whole populations (the GA
+        generations, the baseline optimizers, the design-space sweeps) go
+        through this instead of the scalar per-call path.
+        """
+        if self._batched is None:
+            self._batched = BatchedCostModel(self.hw)
+        return self._batched
+
+    def evaluate_layer_batch(self, layer: Layer, dataflow, pes,
+                             l1_bytes) -> BatchCostReport:
+        """Vectorized sweep of one layer over (pes, l1_bytes) vectors.
+
+        Returns arrays bit-identical to calling :meth:`evaluate_layer`
+        elementwise, computed in a handful of NumPy operations.
+        """
+        return self.batched.evaluate_layer_batch(layer, dataflow, pes,
+                                                 l1_bytes)
 
     # ------------------------------------------------------------------
     # Per-layer evaluation
@@ -65,13 +89,15 @@ class CostModel:
             raise ValueError(f"pes must be >= 1, got {pes}")
         if l1_bytes < 1:
             raise ValueError(f"l1_bytes must be >= 1, got {l1_bytes}")
-        style = get_dataflow(dataflow).style
-        return self._evaluate_cached(layer, style, int(pes), int(l1_bytes))
+        # Resolve the style exactly once: the resolved singleton is both
+        # the cache key and the mapper used on a miss.
+        dataflow = get_dataflow(dataflow)
+        return self._evaluate_cached(layer, dataflow, int(pes),
+                                     int(l1_bytes))
 
-    def _evaluate_uncached(self, layer: Layer, style: str, pes: int,
+    def _evaluate_uncached(self, layer: Layer, dataflow: Dataflow, pes: int,
                            l1_bytes: int) -> CostReport:
         hw = self.hw
-        dataflow = get_dataflow(style)
         plan = dataflow.plan(layer, pes, l1_bytes)
 
         pes_used = min(pes, plan.units)
@@ -94,7 +120,7 @@ class CostModel:
 
         # L2 sized to double-buffer the aggregate resident tile.
         l2_bytes = int(
-            math.ceil(2.0 * hw.l2_sizing_factor * pes * l1_bytes)
+            math.ceil(hw.l2_double_sizing * pes * l1_bytes)
         )
 
         pe_area = hw.mac_area_um2 * pes

@@ -5,6 +5,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
+
+def objective_totals(latency, energy, objective: str):
+    """Objective lookup shared by every model-level result record.
+
+    Works elementwise on arrays (the batch engine's aggregates) exactly as
+    it does on scalars; the ``edp`` product is only computed when asked
+    for (this sits on hot paths, and for arrays the discarded multiply
+    would allocate a population-sized buffer).
+    """
+    if objective == "latency":
+        return latency
+    if objective == "energy":
+        return energy
+    if objective == "edp":
+        return energy * latency
+    raise KeyError(
+        f"unknown objective {objective!r}; available: latency, energy, edp"
+    )
+
 
 @dataclass(frozen=True)
 class CostReport:
@@ -40,17 +61,7 @@ class CostReport:
 
     def objective(self, name: str) -> float:
         """Look up an optimization objective by name."""
-        table = {
-            "latency": self.latency_cycles,
-            "energy": self.energy_nj,
-            "edp": self.edp,
-        }
-        try:
-            return table[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown objective {name!r}; available: {', '.join(table)}"
-            ) from None
+        return objective_totals(self.latency_cycles, self.energy_nj, name)
 
     def constraint(self, name: str) -> float:
         """Look up a platform-constraint quantity by name."""
@@ -61,6 +72,84 @@ class CostReport:
             raise KeyError(
                 f"unknown constraint {name!r}; available: {', '.join(table)}"
             ) from None
+
+
+@dataclass(frozen=True)
+class BatchCostReport:
+    """Array-valued :class:`CostReport` for a whole batch of design points.
+
+    Produced by the batched estimator: element ``i`` of every array holds
+    the figure the scalar path would have returned for batch element ``i``.
+    Integer quantities (``pes_used``, ``l1_bytes_per_pe``, ``l2_bytes``,
+    ``tile_k``, ``macs``) are ``int64`` arrays; the rest are ``float64``.
+    """
+
+    latency_cycles: np.ndarray
+    energy_nj: np.ndarray
+    area_um2: np.ndarray
+    power_mw: np.ndarray
+    pes_used: np.ndarray
+    pe_utilization: np.ndarray
+    l1_bytes_per_pe: np.ndarray
+    l2_bytes: np.ndarray
+    tile_k: np.ndarray
+    macs: np.ndarray
+    dram_bytes: np.ndarray
+    l2_traffic_bytes: np.ndarray
+    compute_cycles: np.ndarray
+    memory_cycles: np.ndarray
+    pe_area_um2: np.ndarray
+    l1_area_um2: np.ndarray
+    l2_area_um2: np.ndarray
+    noc_area_um2: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.latency_cycles)
+
+    @property
+    def edp(self) -> np.ndarray:
+        return self.energy_nj * self.latency_cycles
+
+    def objective(self, name: str) -> np.ndarray:
+        """Objective values for the whole batch."""
+        return objective_totals(self.latency_cycles, self.energy_nj, name)
+
+    def constraint(self, name: str) -> np.ndarray:
+        """Constraint-quantity values for the whole batch."""
+        table = {"area": self.area_um2, "power": self.power_mw}
+        try:
+            return table[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown constraint {name!r}; available: {', '.join(table)}"
+            ) from None
+
+    def report(self, i: int) -> CostReport:
+        """Materialize one batch element as a scalar :class:`CostReport`."""
+        return CostReport(
+            latency_cycles=float(self.latency_cycles[i]),
+            energy_nj=float(self.energy_nj[i]),
+            area_um2=float(self.area_um2[i]),
+            power_mw=float(self.power_mw[i]),
+            pes_used=int(self.pes_used[i]),
+            pe_utilization=float(self.pe_utilization[i]),
+            l1_bytes_per_pe=int(self.l1_bytes_per_pe[i]),
+            l2_bytes=int(self.l2_bytes[i]),
+            tile_k=int(self.tile_k[i]),
+            macs=int(self.macs[i]),
+            dram_bytes=float(self.dram_bytes[i]),
+            l2_traffic_bytes=float(self.l2_traffic_bytes[i]),
+            compute_cycles=float(self.compute_cycles[i]),
+            memory_cycles=float(self.memory_cycles[i]),
+            pe_area_um2=float(self.pe_area_um2[i]),
+            l1_area_um2=float(self.l1_area_um2[i]),
+            l2_area_um2=float(self.l2_area_um2[i]),
+            noc_area_um2=float(self.noc_area_um2[i]),
+        )
+
+    def reports(self) -> List[CostReport]:
+        """Materialize the whole batch (convenience for small batches)."""
+        return [self.report(i) for i in range(len(self))]
 
 
 @dataclass(frozen=True)
@@ -79,17 +168,7 @@ class ModelCostReport:
         return self.energy_nj * self.latency_cycles
 
     def objective(self, name: str) -> float:
-        table = {
-            "latency": self.latency_cycles,
-            "energy": self.energy_nj,
-            "edp": self.edp,
-        }
-        try:
-            return table[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown objective {name!r}; available: {', '.join(table)}"
-            ) from None
+        return objective_totals(self.latency_cycles, self.energy_nj, name)
 
     def constraint(self, name: str) -> float:
         table = {"area": self.area_um2, "power": self.power_mw}

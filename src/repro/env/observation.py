@@ -11,8 +11,8 @@ lands in [-1, 1], which the paper notes stabilizes training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,11 +25,20 @@ OBSERVATION_DIM = 10
 
 @dataclass(frozen=True)
 class ObservationEncoder:
-    """Encodes (layer, previous action, time step) into the agent's input."""
+    """Encodes (layer, previous action, time step) into the agent's input.
+
+    Eight of the ten dimensions -- the seven shape dims and the time index
+    -- are static per (layer, step), so they are precomputed into template
+    vectors at construction; :meth:`encode` copies the template and fills
+    only the two action-dependent slots each RL step.
+    """
 
     scales: np.ndarray          # per-dimension maxima for the shape dims
     num_steps: int              # episode length (layers in the model)
     space: ActionSpace
+    #: (layer, step) -> ready-made observation with action slots at -1.
+    _templates: Dict[Tuple[Layer, int], np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @classmethod
     def for_model(cls, layers: Sequence[Layer],
@@ -48,27 +57,40 @@ class ObservationEncoder:
             ],
             dtype=np.float64,
         )
-        return cls(scales=scales, num_steps=len(layers), space=space)
+        encoder = cls(scales=scales, num_steps=len(layers), space=space)
+        for step, layer in enumerate(layers):
+            encoder._template(layer, step)
+        return encoder
+
+    def _template(self, layer: Layer, step: int) -> np.ndarray:
+        """The static part of O_t for one (layer, step): shape dims and
+        time index filled in, action slots at the t=0 sentinel (-1)."""
+        key = (layer, step)
+        template = self._templates.get(key)
+        if template is None:
+            shape = np.array(
+                [layer.K, layer.C, layer.Y, layer.X, layer.R, layer.S,
+                 float(layer.layer_type)],
+                dtype=np.float64,
+            )
+            shape = 2.0 * shape / self.scales - 1.0
+            t_norm = 2.0 * step / max(self.num_steps - 1, 1) - 1.0
+            template = np.clip(
+                np.concatenate([shape, [-1.0, -1.0], [t_norm]]), -1.0, 1.0)
+            self._templates[key] = template
+        return template
 
     def encode(self, layer: Layer, step: int,
                prev_action: Optional[Sequence[int]]) -> np.ndarray:
         """Build O_t.  ``prev_action`` is the previous step's level indices
         (None at t=0, encoded as -1 on both action dimensions)."""
-        shape = np.array(
-            [layer.K, layer.C, layer.Y, layer.X, layer.R, layer.S,
-             float(layer.layer_type)],
-            dtype=np.float64,
-        )
-        shape = 2.0 * shape / self.scales - 1.0
-        top = max(self.space.num_levels - 1, 1)
-        if prev_action is None:
-            acted = np.array([-1.0, -1.0])
-        else:
+        observation = self._template(layer, step).copy()
+        if prev_action is not None:
+            top = max(self.space.num_levels - 1, 1)
             acted = 2.0 * np.array(prev_action[:2], dtype=np.float64) / top \
                 - 1.0
-        t_norm = 2.0 * step / max(self.num_steps - 1, 1) - 1.0
-        observation = np.concatenate([shape, acted, [t_norm]])
-        return np.clip(observation, -1.0, 1.0)
+            observation[7:9] = np.clip(acted, -1.0, 1.0)
+        return observation
 
     def encode_all(self, layers: Sequence[Layer]) -> List[np.ndarray]:
         """Shape-only encodings for every layer (used by the critic study,

@@ -18,22 +18,39 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.costmodel.batched import (
+    STYLE_INDEX,
+    LayerTable,
+    objective_totals,
+    ordered_row_sum,
+)
 from repro.costmodel.estimator import CostModel
 from repro.env.spaces import ActionSpace
 from repro.models.layers import Layer
 
 
+def _action_pair_grid(space: ActionSpace) -> Tuple[np.ndarray, np.ndarray]:
+    """The exhaustive L x L action-pair grid as flat (pes, l1) vectors,
+    PE level outermost (row-major, matching the scalar loop order)."""
+    pes = np.repeat(np.asarray(space.pe_levels, dtype=np.int64),
+                    space.num_levels)
+    l1_bytes = np.tile(np.asarray(space.buf_levels, dtype=np.int64),
+                       space.num_levels)
+    return pes, l1_bytes
+
+
 def layer_contour(layer: Layer, dataflow: str, objective: str,
                   cost_model: CostModel,
                   space: ActionSpace) -> np.ndarray:
-    """Exhaustive (PE level, Buffer level) objective grid for one layer."""
-    grid = np.zeros((space.num_levels, space.num_levels))
-    for pe_idx, pes in enumerate(space.pe_levels):
-        for buf_idx, l1_bytes in enumerate(space.buf_levels):
-            report = cost_model.evaluate_layer(layer, dataflow, pes,
-                                               l1_bytes)
-            grid[pe_idx, buf_idx] = report.objective(objective)
-    return grid
+    """Exhaustive (PE level, Buffer level) objective grid for one layer.
+
+    The full grid is one batched estimator call (bit-identical to the old
+    per-pair scalar loop).
+    """
+    pes, l1_bytes = _action_pair_grid(space)
+    batch = cost_model.evaluate_layer_batch(layer, dataflow, pes, l1_bytes)
+    return batch.objective(objective).reshape(space.num_levels,
+                                              space.num_levels)
 
 
 def best_action_pair(grid: np.ndarray) -> Tuple[int, int, float]:
@@ -87,19 +104,43 @@ def heuristic_a(layers: Sequence[Layer], dataflow: str, objective: str,
     return HeuristicOutcome(pe_idx, buf_idx, pes, l1_bytes, cost)
 
 
+def uniform_sweep(layers: Sequence[Layer], dataflow: str, objective: str,
+                  cost_model: CostModel, space: ActionSpace) -> np.ndarray:
+    """End-to-end LS cost of every uniform action pair as an (L, L) grid.
+
+    All L^2 design points x N layers are evaluated as a single batched
+    call; row ``pe_idx``, column ``buf_idx`` matches
+    :func:`uniform_cost` on the corresponding pair exactly.
+    """
+    style = STYLE_INDEX[dataflow]
+    table = LayerTable.build(layers)
+    num_layers = len(layers)
+    pairs_pes, pairs_l1 = _action_pair_grid(space)
+    num_pairs = len(pairs_pes)
+    pes = np.repeat(pairs_pes, num_layers)
+    l1_bytes = np.repeat(pairs_l1, num_layers)
+    layer_idx = np.tile(np.arange(num_layers, dtype=np.int64), num_pairs)
+    batch = cost_model.batched.evaluate(table, layer_idx, style, pes,
+                                        l1_bytes)
+    latency_total = ordered_row_sum(
+        batch.latency_cycles.reshape(num_pairs, num_layers))
+    energy_total = ordered_row_sum(
+        batch.energy_nj.reshape(num_pairs, num_layers))
+    cost = objective_totals(latency_total, energy_total, objective)
+    return cost.reshape(space.num_levels, space.num_levels)
+
+
 def heuristic_b(layers: Sequence[Layer], dataflow: str, objective: str,
                 cost_model: CostModel,
                 space: ActionSpace) -> HeuristicOutcome:
     """Heuristic B: the uniform pair minimizing end-to-end cost
-    (exhaustive over the L^2 uniform configurations)."""
-    best: Optional[HeuristicOutcome] = None
-    for pe_idx, pes in enumerate(space.pe_levels):
-        for buf_idx, l1_bytes in enumerate(space.buf_levels):
-            cost = uniform_cost(layers, dataflow, objective, cost_model,
-                                pes, l1_bytes)
-            if best is None or cost < best.end_to_end_cost:
-                best = HeuristicOutcome(pe_idx, buf_idx, pes, l1_bytes, cost)
-    return best
+    (exhaustive over the L^2 uniform configurations, evaluated as one
+    batched sweep; ties resolve to the first pair in PE-major order,
+    exactly as the old scalar scan did)."""
+    grid = uniform_sweep(layers, dataflow, objective, cost_model, space)
+    pe_idx, buf_idx, cost = best_action_pair(grid)
+    return HeuristicOutcome(pe_idx, buf_idx, space.pe_levels[pe_idx],
+                            space.buf_levels[buf_idx], cost)
 
 
 def per_layer_optima(layers: Sequence[Layer], dataflow: str, objective: str,

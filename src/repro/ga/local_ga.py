@@ -17,14 +17,18 @@ The first population is seeded with the stage-1 solution.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.evaluator import DesignPointEvaluator, RawAssignment
+from repro.core.evaluator import DesignPointEvaluator, EvalResult, \
+    RawAssignment
 from repro.rl.common import SearchResult
 
 Genome = List[List]  # [[pes, buf(, style)], ...] mutable raw assignments
+
+#: Hashable fitness-memo key for one genome.
+GenomeKey = Tuple[Tuple, ...]
 
 
 class LocalGA:
@@ -41,6 +45,13 @@ class LocalGA:
             "global" (conventional two-parent gene blending) -- the latter
             exists only for the ablation that reproduces the paper's
             argument that blending breaks the learnt budget split.
+        use_batch: Evaluate each generation's offspring as one batched
+            population instead of per-individual calls (bit-identical
+            results; ``False`` keeps the scalar path for parity tests).
+        memoize: Cache fitness by genome within one search so duplicate
+            offspring -- common with elitism and low mutation rates --
+            never re-hit the estimator.  The hit count is exposed on
+            :attr:`SearchResult.cache_hits`.
         seed: RNG seed.
     """
 
@@ -50,6 +61,7 @@ class LocalGA:
                  crossover_rate: float = 0.2, mutation_step: int = 4,
                  max_pes: int = 128, max_l1_bytes: int = 2048,
                  elite: int = 2, crossover_mode: str = "local",
+                 use_batch: bool = True, memoize: bool = True,
                  seed: Optional[int] = None) -> None:
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
@@ -70,7 +82,11 @@ class LocalGA:
         self.max_pes = max_pes
         self.max_l1_bytes = max_l1_bytes
         self.elite = max(1, elite)
+        self.use_batch = use_batch
+        self.memoize = memoize
         self.rng = np.random.default_rng(seed)
+        self._memo: Dict[GenomeKey, float] = {}
+        self._hits = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -108,10 +124,43 @@ class LocalGA:
                               else gene_a))
         return child
 
-    def _fitness(self, evaluator: DesignPointEvaluator,
-                 genome: Genome) -> float:
-        outcome = evaluator.evaluate_raw([tuple(g) for g in genome])
+    @staticmethod
+    def _cost_of(outcome: EvalResult) -> float:
+        """The GA's fitness rule: objective cost, infinite if infeasible."""
         return outcome.cost if outcome.feasible else float("inf")
+
+    @staticmethod
+    def _key(genome: Genome) -> GenomeKey:
+        return tuple(tuple(gene) for gene in genome)
+
+    def _evaluate_many(self, evaluator: DesignPointEvaluator,
+                       genomes: Sequence[Genome]) -> List[EvalResult]:
+        raw = [[tuple(gene) for gene in genome] for genome in genomes]
+        if self.use_batch:
+            return evaluator.evaluate_population_raw(raw)
+        return [evaluator.evaluate_raw(assignments) for assignments in raw]
+
+    def _fitness_many(self, evaluator: DesignPointEvaluator,
+                      genomes: Sequence[Genome]) -> List[float]:
+        """Fitness of many genomes: one batched estimator call, with
+        duplicate genomes (within the batch or across the whole search)
+        served from the memo instead of re-hitting the estimator."""
+        if not self.memoize:
+            return [self._cost_of(outcome) for outcome
+                    in self._evaluate_many(evaluator, genomes)]
+        keys = [self._key(genome) for genome in genomes]
+        pending: Dict[GenomeKey, Genome] = {}
+        for key, genome in zip(keys, genomes):
+            if key in self._memo or key in pending:
+                self._hits += 1
+            else:
+                pending[key] = genome
+        if pending:
+            outcomes = self._evaluate_many(evaluator,
+                                           list(pending.values()))
+            for key, outcome in zip(pending, outcomes):
+                self._memo[key] = self._cost_of(outcome)
+        return [self._memo[key] for key in keys]
 
     # ------------------------------------------------------------------
     def search(self, evaluator: DesignPointEvaluator,
@@ -126,26 +175,26 @@ class LocalGA:
             raise ValueError("generations must be >= 1")
         result = SearchResult(algorithm=self.name)
         started = time.perf_counter()
+        self._memo = {}
+        self._hits = 0
 
         seed_genome = self._to_genome(initial)
-        population: List[Tuple[float, Genome]] = []
-        seed_cost = self._fitness(evaluator, seed_genome)
-        population.append((seed_cost, seed_genome))
+        genomes: List[Genome] = [seed_genome]
         for _ in range(self.population_size - 1):
-            population.append((
-                float("inf"),
-                self._mutate(seed_genome),
-            ))
-        population = [(self._fitness(evaluator, genome)
-                       if cost == float("inf") else cost, genome)
-                      for cost, genome in population]
+            genomes.append(self._mutate(seed_genome))
+        population: List[Tuple[float, Genome]] = list(
+            zip(self._fitness_many(evaluator, genomes), genomes))
 
         for _ in range(generations):
             population.sort(key=lambda item: item[0])
             survivors = population[: max(self.elite,
                                          self.population_size // 2)]
             next_population = list(population[: self.elite])
-            while len(next_population) < self.population_size:
+            # Breed the full offspring set first (fitness consumes no
+            # randomness), then score it as one batched evaluation.
+            offspring: List[Genome] = []
+            while len(next_population) + len(offspring) \
+                    < self.population_size:
                 _, parent = survivors[
                     int(self.rng.integers(len(survivors)))]
                 child = parent
@@ -156,9 +205,9 @@ class LocalGA:
                         _, other = survivors[
                             int(self.rng.integers(len(survivors)))]
                         child = self._global_crossover(child, other)
-                child = self._mutate(child)
-                next_population.append(
-                    (self._fitness(evaluator, child), child))
+                offspring.append(self._mutate(child))
+            next_population.extend(
+                zip(self._fitness_many(evaluator, offspring), offspring))
             population = next_population
             best_cost = min(cost for cost, _ in population)
             result.record(None if best_cost == float("inf") else best_cost)
@@ -170,6 +219,11 @@ class LocalGA:
             result.best_assignments = tuple(
                 tuple(gene) for gene in best_genome)
         result.wall_time_s = time.perf_counter() - started
-        result.evaluations = evaluator.evaluations
+        # ``evaluations`` keeps its historical meaning -- fitness samples
+        # the search consumed -- so sample-efficiency comparisons against
+        # the non-memoizing methods stay apples-to-apples; ``cache_hits``
+        # says how many of those never reached the estimator.
+        result.evaluations = evaluator.evaluations + self._hits
+        result.cache_hits = self._hits
         result.episodes = generations
         return result

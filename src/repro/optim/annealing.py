@@ -6,6 +6,10 @@ improving move is always accepted, a worsening one with probability
 setting (T = 10, step 1) adapted to the discrete integer space.  Infeasible
 points carry infinite cost, so under tight constraints the walk can fail to
 ever enter the feasible region -- the NAN rows of Table IV.
+
+The walk is inherently sequential (each proposal depends on the previous
+accept/reject), so its per-step candidate set has size one; it still routes
+through the shared batched evaluation API of :class:`GenomeOptimizer`.
 """
 
 from __future__ import annotations
@@ -23,8 +27,8 @@ class SimulatedAnnealing(GenomeOptimizer):
 
     def __init__(self, temperature: float = 10.0, step: int = 1,
                  cooling: float = 0.999, restarts: int = 5,
-                 seed=None) -> None:
-        super().__init__(seed=seed)
+                 seed=None, use_batch: bool = True) -> None:
+        super().__init__(seed=seed, use_batch=use_batch)
         if temperature <= 0:
             raise ValueError("temperature must be positive")
         if step < 1:

@@ -22,8 +22,14 @@ class GenomeOptimizer:
 
     name = "genome-optimizer"
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    #: Candidate-set size per batched estimator call for the streaming
+    #: methods (random / grid); population methods batch one generation.
+    batch_size = 256
+
+    def __init__(self, seed: Optional[int] = None,
+                 use_batch: bool = True) -> None:
         self.rng = np.random.default_rng(seed)
+        self.use_batch = use_batch
         self._result: Optional[SearchResult] = None
         self._evaluator: Optional[DesignPointEvaluator] = None
         self._budget = 0
@@ -59,19 +65,46 @@ class GenomeOptimizer:
             RuntimeError: if called after the budget is exhausted (guard
             with :attr:`exhausted` in the subclass loop).
         """
+        return self.evaluate_batch([genome])[0]
+
+    def evaluate_batch(
+        self, genomes: Sequence[Sequence[int]]
+    ) -> List[EvalResult]:
+        """Evaluate a candidate set as one batched estimator call.
+
+        The set is truncated to the remaining budget (mirroring the scalar
+        loop, which stopped evaluating mid-set when the budget ran out);
+        best-tracking and the convergence history are updated genome by
+        genome in order, so results are identical to sequential
+        :meth:`evaluate` calls.
+
+        Single-genome sets take the scalar path even with ``use_batch``
+        on: for sequential walks (SA proposals, Bayesian's EI loop) the
+        per-layer LRU cache beats batch-of-one numpy dispatch, and the
+        two backends return identical numbers anyway.
+
+        Raises:
+            RuntimeError: if called after the budget is exhausted.
+        """
         if self.exhausted:
             raise RuntimeError("evaluation budget exhausted")
-        outcome = self._evaluator.evaluate_genome(genome)
-        self._spent += 1
+        genomes = list(genomes)[: self._budget - self._spent]
+        if self.use_batch and len(genomes) > 1:
+            outcomes = self._evaluator.evaluate_population(genomes)
+        else:
+            outcomes = [self._evaluator.evaluate_genome(genome)
+                        for genome in genomes]
         result = self._result
-        if outcome.feasible and (result.best_cost is None
-                                 or outcome.cost < result.best_cost):
-            result.best_cost = outcome.cost
-            result.best_genome = list(genome)
-            result.best_assignments = tuple(
-                self._evaluator.decode_genome(genome))
-        result.record(result.best_cost)
-        return outcome
+        for genome, outcome in zip(genomes, outcomes):
+            self._spent += 1
+            if outcome.feasible and (result.best_cost is None
+                                     or outcome.cost < result.best_cost):
+                result.best_cost = outcome.cost
+                result.best_genome = list(genome)
+                result.best_assignments = tuple(
+                    self._evaluator.decode_genome(genome))
+            result.record(result.best_cost)
+        return outcomes
 
     def random_genome(self) -> List[int]:
         """A uniformly random genome."""

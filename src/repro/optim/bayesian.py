@@ -33,8 +33,8 @@ class BayesianOptimization(GenomeOptimizer):
     def __init__(self, initial_samples: int = 20, candidate_pool: int = 256,
                  length_scale: float = 0.4, noise: float = 1e-4,
                  max_fit_points: int = 400, infeasible_penalty: float = 4.0,
-                 seed=None) -> None:
-        super().__init__(seed=seed)
+                 seed=None, use_batch: bool = True) -> None:
+        super().__init__(seed=seed, use_batch=use_batch)
         if initial_samples < 2:
             raise ValueError("initial_samples must be >= 2")
         self.initial_samples = initial_samples
@@ -58,7 +58,10 @@ class BayesianOptimization(GenomeOptimizer):
         return np.asarray(genome, dtype=np.float64) / np.asarray(scales)
 
     def _observe(self, genome: List[int]) -> None:
-        outcome = self.evaluate(genome)
+        self._record(genome, self.evaluate(genome))
+
+    def _record(self, genome: List[int], outcome) -> None:
+        """Fold one evaluated genome into the surrogate's training set."""
         if outcome.feasible:
             target = np.log10(max(outcome.cost, 1e-30))
         else:
@@ -107,10 +110,13 @@ class BayesianOptimization(GenomeOptimizer):
 
     # ------------------------------------------------------------------
     def _run(self) -> None:
-        for _ in range(min(self.initial_samples, self._budget)):
-            if self.exhausted:
-                return
-            self._observe(self.random_genome())
+        # The seed set is independent draws, so it is scored as one batch;
+        # the EI loop below is inherently sequential (each choice depends
+        # on the surrogate fitted to everything before it).
+        seeds = [self.random_genome()
+                 for _ in range(min(self.initial_samples, self._budget))]
+        for genome, outcome in zip(seeds, self.evaluate_batch(seeds)):
+            self._record(genome, outcome)
         while not self.exhausted:
             features, targets = self._fit_subset()
             pool = [self.random_genome() for _ in range(self.candidate_pool)]

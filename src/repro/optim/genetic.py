@@ -23,8 +23,8 @@ class GeneticAlgorithm(GenomeOptimizer):
 
     def __init__(self, population_size: int = 100, mutation_rate: float = 0.05,
                  crossover_rate: float = 0.05, tournament_size: int = 3,
-                 elite: int = 2, seed=None) -> None:
-        super().__init__(seed=seed)
+                 elite: int = 2, seed=None, use_batch: bool = True) -> None:
+        super().__init__(seed=seed, use_batch=use_batch)
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
         if not 0.0 <= mutation_rate <= 1.0:
@@ -38,9 +38,16 @@ class GeneticAlgorithm(GenomeOptimizer):
         self.elite = max(0, elite)
 
     # ------------------------------------------------------------------
-    def _fitness(self, genome: List[int]) -> float:
-        outcome = self.evaluate(genome)
-        return outcome.cost if outcome.feasible else float("inf")
+    def _score(self, population: List[List[int]]
+               ) -> Optional[List[Tuple[float, List[int]]]]:
+        """Fitness of a whole generation via one batched evaluation;
+        ``None`` when the budget ran out mid-generation (the scalar loop
+        likewise abandoned partially-scored generations)."""
+        outcomes = self.evaluate_batch(population)
+        if len(outcomes) < len(population):
+            return None
+        return [(outcome.cost if outcome.feasible else float("inf"), genome)
+                for genome, outcome in zip(population, outcomes)]
 
     def _tournament(self, scored: List[Tuple[float, List[int]]]
                     ) -> List[int]:
@@ -72,11 +79,9 @@ class GeneticAlgorithm(GenomeOptimizer):
     def _run(self) -> None:
         population = [self.random_genome()
                       for _ in range(self.population_size)]
-        scored: List[Tuple[float, List[int]]] = []
-        for genome in population:
-            if self.exhausted:
-                return
-            scored.append((self._fitness(genome), genome))
+        scored = self._score(population)
+        if scored is None:
+            return
         while not self.exhausted:
             scored.sort(key=lambda item: item[0])
             next_generation = [genome for _, genome in scored[:self.elite]]
@@ -88,8 +93,6 @@ class GeneticAlgorithm(GenomeOptimizer):
                 else:
                     child = list(parent)
                 next_generation.append(self._mutate(child))
-            scored = []
-            for genome in next_generation:
-                if self.exhausted:
-                    return
-                scored.append((self._fitness(genome), genome))
+            scored = self._score(next_generation)
+            if scored is None:
+                return

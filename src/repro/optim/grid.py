@@ -22,8 +22,9 @@ class GridSearch(GenomeOptimizer):
 
     name = "grid"
 
-    def __init__(self, stride: int = 2, seed=None) -> None:
-        super().__init__(seed=seed)
+    def __init__(self, stride: int = 2, seed=None,
+                 use_batch: bool = True) -> None:
+        super().__init__(seed=seed, use_batch=use_batch)
         if stride < 1:
             raise ValueError("stride must be >= 1")
         self.stride = stride
@@ -45,7 +46,13 @@ class GridSearch(GenomeOptimizer):
 
     def _run(self) -> None:
         genome = [0] * self._evaluator.genome_length
+        pending: List[List[int]] = []
         while not self.exhausted:
-            self.evaluate(genome)
-            if not self._advance(genome):
-                return
+            pending.append(list(genome))
+            advanced = self._advance(genome)
+            if not advanced or len(pending) >= min(
+                    self.batch_size, self._budget - self._spent):
+                self.evaluate_batch(pending)
+                pending = []
+                if not advanced:
+                    return

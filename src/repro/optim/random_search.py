@@ -12,10 +12,17 @@ from repro.optim.base import GenomeOptimizer
 
 
 class RandomSearch(GenomeOptimizer):
-    """Uniform sampling over the level-index genome space."""
+    """Uniform sampling over the level-index genome space.
+
+    Samples are drawn in budget-sized chunks and scored through the
+    batched estimator -- the sampling order (hence the result for a given
+    seed) is identical to the old one-point-at-a-time loop.
+    """
 
     name = "random"
 
     def _run(self) -> None:
         while not self.exhausted:
-            self.evaluate(self.random_genome())
+            chunk = min(self.batch_size, self._budget - self._spent)
+            self.evaluate_batch(
+                [self.random_genome() for _ in range(chunk)])

@@ -31,6 +31,9 @@ class SearchResult:
     best_genome: Optional[List[int]] = None
     history: List[float] = field(default_factory=list)
     evaluations: int = 0
+    #: Fitness lookups served from a search-local memo instead of the
+    #: estimator (currently populated by the stage-2 local GA).
+    cache_hits: int = 0
     episodes: int = 0
     wall_time_s: float = 0.0
     memory_bytes: int = 0
