@@ -8,25 +8,23 @@ the paper's figure).
 
 from __future__ import annotations
 
-from repro import ConfuciuX
 from repro.core.reporting import ascii_bars, format_table
 from repro.experiments import default_epochs
-from repro.models import get_model
 
 LAYER_SLICE = 16
 
 
-def test_fig09_two_stage_trace(benchmark, cost_model, save_report):
+def test_fig09_two_stage_trace(benchmark, run_spec, save_report):
     epochs = default_epochs(200)
     generations = max(30, epochs // 3)
-    layers = get_model("mobilenet_v2")[:LAYER_SLICE]
 
     def run():
-        pipeline = ConfuciuX(layers, objective="latency", dataflow="dla",
-                             constraint_kind="area", platform="iot",
-                             seed=0, cost_model=cost_model)
-        return pipeline.run(global_epochs=epochs,
-                            finetune_generations=generations)
+        session_result = run_spec(
+            model="mobilenet_v2", method="confuciux", objective="latency",
+            dataflow="dla", constraint_kind="area", platform="iot",
+            budget=epochs, finetune=generations, seed=0,
+            layer_slice=LAYER_SLICE)
+        return session_result.detail
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.best_cost is not None

@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from repro.core.reporting import format_table
 from repro.experiments import TaskSpec, default_epochs
-from repro.experiments.lp_study import TABLE4_METHODS, format_row, run_row
+from repro.experiments.lp_study import (
+    classic_optimizer_methods,
+    display_columns,
+    format_row,
+    run_row,
+)
 
 LAYER_SLICE = 16
 
@@ -34,6 +39,9 @@ ROWS = [
 
 def test_table04_optimizers(benchmark, cost_model, save_report):
     epochs = default_epochs(150)
+    # Resolved at run time so methods registered after import (e.g. by a
+    # plugin conftest) join the grid automatically.
+    methods = classic_optimizer_methods()
 
     def run():
         table = []
@@ -42,17 +50,16 @@ def test_table04_optimizers(benchmark, cost_model, save_report):
             task = TaskSpec(model="mobilenet_v2", dataflow="dla",
                             objective=objective, constraint_kind=kind,
                             platform=platform, layer_slice=LAYER_SLICE)
-            results = run_row(task, TABLE4_METHODS, epochs,
+            results = run_row(task, methods, epochs,
                               cost_model=cost_model)
             label = f"{objective} {kind}:{platform}"
-            table.append(format_row(label, results, TABLE4_METHODS))
+            table.append(format_row(label, results, methods))
             outcomes.append(((objective, kind, platform), results))
         return table, outcomes
 
     table, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
     save_report("table04_optimizers", format_table(
-        ["objective constraint", "Grid", "Random", "SA", "GA", "Bayes.Opt.",
-         "Con'X (global)"],
+        ["objective constraint"] + display_columns(methods),
         table,
         title=f"Table IV -- optimizer comparison, MobileNet-V2 "
               f"(first {LAYER_SLICE} layers), NVDLA-style, LP, Eps={epochs}",

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from repro.core.reporting import format_table
 from repro.experiments import TaskSpec, default_epochs
-from repro.experiments.lp_study import TABLE5_METHODS, run_row
+from repro.experiments.lp_study import (
+    display_columns,
+    rl_comparison_methods,
+    run_row,
+)
 
 LAYER_SLICE = 12
 
@@ -34,19 +38,22 @@ ROWS = [
 
 def test_table05_rl_algorithms(benchmark, cost_model, save_report):
     epochs = default_epochs(80)
+    # Resolved at run time so methods registered after import (e.g. by a
+    # plugin conftest) join the grid automatically.
+    methods = rl_comparison_methods()
 
     def run():
         table = []
-        memory = {name: 0 for name in TABLE5_METHODS}
+        memory = {name: 0 for name in methods}
         outcomes = []
         for model, objective, kind, platform in ROWS:
             task = TaskSpec(model=model, dataflow="dla",
                             objective=objective, constraint_kind=kind,
                             platform=platform, layer_slice=LAYER_SLICE)
-            results = run_row(task, TABLE5_METHODS, epochs,
+            results = run_row(task, methods, epochs,
                               cost_model=cost_model)
             row = [f"{model} {objective} {kind}:{platform}"]
-            for name in TABLE5_METHODS:
+            for name in methods:
                 result = results[name]
                 row.append(f"{result.format_cost()} ({result.wall_time_s:.1f}s)")
                 memory[name] = max(memory[name], result.memory_bytes)
@@ -54,12 +61,11 @@ def test_table05_rl_algorithms(benchmark, cost_model, save_report):
             outcomes.append(results)
         table.append(
             ["memory overhead (MB)"]
-            + [f"{memory[name] / 1e6:.1f}" for name in TABLE5_METHODS])
+            + [f"{memory[name] / 1e6:.1f}" for name in methods])
         return table, outcomes
 
     table, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
-    headers = ["task", "A2C", "ACKTR", "PPO2", "DDPG", "SAC", "TD3",
-               "Con'X (global)"]
+    headers = ["task"] + display_columns(methods)
     save_report("table05_rl_algorithms", format_table(
         headers, table,
         title=f"Table V -- RL algorithm comparison, Eps={epochs}, "
@@ -78,7 +84,7 @@ def test_table05_rl_algorithms(benchmark, cost_model, save_report):
             wins += 1
     assert wins >= len(outcomes) // 2
     memory_row = table[-1]
-    conx_memory = float(memory_row[-1])
-    ddpg_memory = float(memory_row[4])
+    conx_memory = float(memory_row[1 + methods.index("reinforce")])
+    ddpg_memory = float(memory_row[1 + methods.index("ddpg")])
     assert conx_memory < ddpg_memory  # replay buffers dominate (paper: 2.1
     #                                   vs 13.9+ MB)

@@ -7,10 +7,8 @@ value with its further improvement -- the paper's 56..99% / 7..93% split.
 
 from __future__ import annotations
 
-from repro import ConfuciuX
 from repro.core.reporting import format_table
-from repro.experiments import TaskSpec, default_epochs
-from repro.models import get_model
+from repro.experiments import default_epochs
 
 LAYER_SLICE = 12
 
@@ -24,21 +22,19 @@ ROWS = [
 ]
 
 
-def test_table07_two_stage(benchmark, cost_model, save_report):
+def test_table07_two_stage(benchmark, run_spec, save_report):
     epochs = default_epochs(150)
     generations = max(20, epochs // 3)
 
     def run():
         out = []
         for model, platform in ROWS:
-            layers = get_model(model)[:LAYER_SLICE]
-            pipeline = ConfuciuX(layers, objective="latency",
-                                 dataflow="dla", constraint_kind="area",
-                                 platform=platform, seed=0,
-                                 cost_model=cost_model)
-            out.append(((model, platform),
-                        pipeline.run(global_epochs=epochs,
-                                     finetune_generations=generations)))
+            session_result = run_spec(
+                model=model, method="confuciux", objective="latency",
+                dataflow="dla", constraint_kind="area", platform=platform,
+                budget=epochs, finetune=generations, seed=0,
+                layer_slice=LAYER_SLICE)
+            out.append(((model, platform), session_result.detail))
         return out
 
     outcomes = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -14,6 +14,7 @@ import pathlib
 import pytest
 
 from repro.costmodel import CostModel
+from repro.search import SearchSession, SearchSpec
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -22,6 +23,20 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def cost_model() -> CostModel:
     """One shared estimator: its cache is reused across every bench."""
     return CostModel(cache_size=1_000_000)
+
+
+@pytest.fixture(scope="session")
+def run_spec(cost_model):
+    """Run one :class:`SearchSpec` through the unified session API on the
+    shared cost model; accepts spec fields as keyword arguments."""
+
+    def _run(spec=None, callbacks=(), **spec_kwargs):
+        if spec is None:
+            spec = SearchSpec(**spec_kwargs)
+        return SearchSession(spec, cost_model=cost_model).run(
+            callbacks=callbacks)
+
+    return _run
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import JointSearch, get_model
+import repro
 from repro.core.joint import dataflow_assignment_table, style_histogram
 from repro.core.reporting import ascii_bars, format_table
 
@@ -24,15 +24,19 @@ def main() -> None:
     parser.add_argument("--model", default="mobilenet_v2")
     args = parser.parse_args()
 
-    layers = get_model(args.model)[: args.layers]
-    search = JointSearch(layers, objective="latency",
-                         constraint_kind="area", platform="iot", seed=0)
-    result = search.run(global_epochs=args.epochs,
-                        finetune_generations=args.epochs // 5)
+    # ``mix=True`` is the MIX strategy: the agent also picks a dataflow
+    # style per layer.
+    session_result = repro.explore(
+        model=args.model, method="confuciux", objective="latency",
+        constraint_kind="area", platform="iot", mix=True,
+        budget=args.epochs, finetune=args.epochs // 5, seed=0,
+        layer_slice=args.layers)
 
-    if result.best_cost is None:
+    if not session_result.feasible:
         print("No feasible assignment found; increase --epochs.")
         return
+    layers = session_result.spec.task().layers()
+    result = session_result.detail
 
     rows = dataflow_assignment_table(result, layers)
     print(format_table(

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.costmodel import CostModel
 from repro.env.spaces import ActionSpace
-from repro.models import get_model
+from repro.search import SearchSpec
 
 
 _SHADES = " .:-=+*#%@"
@@ -56,10 +56,14 @@ def main() -> None:
                         choices=["dla", "eye", "shi"])
     args = parser.parse_args()
 
-    layers = get_model(args.model)
+    # The spec names the search cell; its task() builds the same layers
+    # and Table-I action space every session/search method sees.
+    spec = SearchSpec(model=args.model, dataflow=args.dataflow)
+    task = spec.task()
+    layers = task.layers()
     layer = layers[args.layer % len(layers)]
     cost_model = CostModel()
-    space = ActionSpace.build(args.dataflow)
+    space = task.space()
 
     print(f"Layer {args.layer} of {args.model}: {layer}")
     latency = np.zeros((12, 12))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import ConfuciuX, get_model
+import repro
 from repro.core.reporting import format_table
 from repro.costmodel import CostModel
 
@@ -26,7 +26,7 @@ def main() -> None:
                         choices=["mnasnet", "mobilenet_v2", "resnet50"])
     args = parser.parse_args()
 
-    layers = get_model(args.model)[: args.layers]
+    # One shared estimator: layer evaluations are cached across the grid.
     cost_model = CostModel()
 
     rows = []
@@ -34,13 +34,13 @@ def main() -> None:
     for platform in ("cloud", "iot", "iotx"):
         row = [platform]
         for dataflow in ("dla", "eye", "shi"):
-            pipeline = ConfuciuX(
-                layers, objective="latency", dataflow=dataflow,
-                constraint_kind="area", platform=platform, seed=0,
-                cost_model=cost_model)
-            result = pipeline.run(global_epochs=args.epochs,
-                                  finetune_generations=args.epochs // 5)
-            if result.best_cost is None:
+            result = repro.explore(
+                model=args.model, method="confuciux",
+                objective="latency", dataflow=dataflow,
+                constraint_kind="area", platform=platform,
+                budget=args.epochs, finetune=args.epochs // 5, seed=0,
+                layer_slice=args.layers, cost_model=cost_model)
+            if not result.feasible:
                 row.append("NAN")
             else:
                 row.append(f"{result.best_cost:.2E}")
@@ -54,7 +54,7 @@ def main() -> None:
         ["platform", "NVDLA-style", "Eyeriss-style", "ShiDianNao-style"],
         rows,
         title=f"{args.model}: best latency (cycles) per dataflow and "
-              f"budget tier ({len(layers)} layers, {args.epochs} epochs)"))
+              f"budget tier ({args.layers} layers, {args.epochs} epochs)"))
     print()
     for platform, (dataflow, cost) in best_per_platform.items():
         print(f"  {platform:>6s}: {dataflow} wins at {cost:.2E} cycles")

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro import ConfuciuX, get_model
-from repro.core.constraints import PlatformConstraint, platform_constraint
+import repro
+from repro.core.constraints import platform_constraint
+from repro.models import get_model
 from repro.core.reporting import ascii_bars, format_table
 from repro.costmodel import CostModel
 from repro.env.spaces import ActionSpace
@@ -52,11 +53,12 @@ def main() -> None:
                                         cost_model, space)
 
     ls = best_ls_point(cost_model, layers, space, lp_constraint.budget)
-    pipeline = ConfuciuX(layers, objective="latency", dataflow="dla",
-                         constraint=lp_constraint, seed=0,
-                         cost_model=cost_model)
-    lp = pipeline.run(global_epochs=args.epochs,
-                      finetune_generations=args.epochs // 4)
+    # The session derives the identical IoT area constraint internally.
+    lp = repro.explore(
+        model=args.model, method="confuciux", objective="latency",
+        dataflow="dla", constraint_kind="area", platform="iot",
+        budget=args.epochs, finetune=args.epochs // 4, seed=0,
+        layer_slice=args.layers, cost_model=cost_model)
 
     ls_latency = ls[0]
     # LS is serialized: one input finishes before the next starts.

@@ -1,8 +1,10 @@
 """Quickstart: find an optimized HW resource assignment for MobileNet-V2.
 
-Runs the full two-stage ConfuciuX pipeline -- REINFORCE global search
-followed by local GA fine-tuning -- for an IoT-class area budget, then
-prints the per-layer assignment and the constraint-utilization report.
+One call to :func:`repro.explore` runs the full two-stage ConfuciuX
+pipeline -- REINFORCE global search followed by local GA fine-tuning --
+for an IoT-class area budget, then prints the per-layer assignment and the
+constraint-utilization report.  Swap ``method="confuciux"`` for any name
+in ``python -m repro methods`` to search with a different algorithm.
 
     python examples/quickstart.py [--epochs N] [--layers N]
 """
@@ -11,7 +13,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import ConfuciuX, get_model
+import repro
 from repro.core.reporting import format_table
 
 
@@ -24,39 +26,41 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    layers = get_model("mobilenet_v2")
-    if args.layers:
-        layers = layers[: args.layers]
-
-    print(f"Searching HW assignments for {len(layers)} MobileNet-V2 layers")
+    print(f"Searching HW assignments for MobileNet-V2 "
+          f"(first {args.layers or 'all'} layers)")
     print("Objective: minimize latency | Constraint: IoT area budget "
           "(10% of max)")
 
-    pipeline = ConfuciuX(
-        layers,
+    result = repro.explore(
+        model="mobilenet_v2",
+        method="confuciux",
         objective="latency",
         dataflow="dla",            # NVDLA-style weight-stationary
         constraint_kind="area",
         platform="iot",
+        budget=args.epochs,
+        finetune=args.epochs // 4,
         seed=args.seed,
+        layer_slice=args.layers or None,
     )
-    result = pipeline.run(global_epochs=args.epochs,
-                          finetune_generations=args.epochs // 4)
 
-    if result.best_cost is None:
+    if not result.feasible:
         print("No feasible assignment found; increase --epochs.")
         return
 
-    impr1, impr2 = result.improvement_fractions()
+    # ``detail`` carries the full two-stage ConfuciuXResult.
+    detail = result.detail
+    impr1, impr2 = detail.improvement_fractions()
     print()
-    print(f"First valid latency : {result.initial_valid_cost:.3E} cycles")
-    print(f"After global search : {result.global_cost:.3E} cycles "
+    print(f"First valid latency : {detail.initial_valid_cost:.3E} cycles")
+    print(f"After global search : {detail.global_cost:.3E} cycles "
           f"({100 * impr1:.1f}% better)")
-    print(f"After fine-tuning   : {result.best_cost:.3E} cycles "
+    print(f"After fine-tuning   : {detail.best_cost:.3E} cycles "
           f"(another {100 * impr2:.1f}%)")
-    print(f"Constraint report   : {result.utilization()}")
+    print(f"Constraint report   : {detail.utilization()}")
     print()
 
+    layers = result.spec.task().layers()
     rows = [
         [i + 1, layer.name, layer.layer_type.name, pes, l1]
         for i, (layer, (pes, l1)) in enumerate(

@@ -1,8 +1,11 @@
 """Search-method shoot-out on one task (a Table IV / Table V row).
 
-Runs every optimizer and RL algorithm in the repository on the same
+Runs every method in the unified registry -- classic optimizers, RL
+algorithms, the stage-2 GA, and the full two-stage pipeline -- on the same
 (model, dataflow, constraint) cell with the same evaluation budget and
 reports converged quality, sample efficiency, wall time, and memory.
+Register your own method (``repro.register_method``) and it appears here
+automatically.
 
     python examples/search_method_comparison.py [--epochs N] \
         [--platform iot] [--methods reinforce,ppo2,ga,...]
@@ -12,12 +15,9 @@ from __future__ import annotations
 
 import argparse
 
+import repro
 from repro.core.reporting import format_table
-from repro.experiments import TaskSpec, compare_methods
-
-DEFAULT_METHODS = ["grid", "random", "sa", "ga", "bayesian",
-                   "a2c", "acktr", "ppo2", "ddpg", "sac", "td3",
-                   "reinforce"]
+from repro.costmodel import CostModel
 
 
 def main() -> None:
@@ -29,34 +29,46 @@ def main() -> None:
                         choices=["unlimited", "cloud", "iot", "iotx"])
     parser.add_argument("--objective", default="latency",
                         choices=["latency", "energy", "edp"])
-    parser.add_argument("--methods", default=",".join(DEFAULT_METHODS))
+    parser.add_argument("--methods", default="",
+                        help="comma-separated names; default: the whole "
+                             "registry")
     args = parser.parse_args()
 
-    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
-    task = TaskSpec(model=args.model, dataflow="dla",
-                    objective=args.objective, platform=args.platform,
-                    layer_slice=args.layers)
-    print(f"Task: {task.label()} | Eps={args.epochs} per method")
-    results = compare_methods(task, methods, args.epochs, seed=0)
+    methods = ([m.strip() for m in args.methods.split(",") if m.strip()]
+               or repro.method_names())
+    # One shared estimator so cached layer evaluations are reused.
+    cost_model = CostModel()
+
+    print(f"Task: {args.model} {args.objective} area:{args.platform} | "
+          f"Eps={args.epochs} per method")
+    results = {}
+    for method in methods:
+        results[method] = repro.explore(
+            model=args.model, method=method, objective=args.objective,
+            constraint_kind="area", platform=args.platform,
+            budget=args.epochs, seed=0, layer_slice=args.layers,
+            cost_model=cost_model)
 
     best_feasible = min((r.best_cost for r in results.values()
                          if r.best_cost is not None), default=None)
     rows = []
     for name in methods:
-        result = results[name]
-        reach = (result.epochs_to_reach(best_feasible * 1.1)
+        outcome = results[name].result
+        reach = (outcome.epochs_to_reach(best_feasible * 1.1)
                  if best_feasible else None)
         rows.append([
             name,
-            result.format_cost(),
+            repro.get_method(name).kind,
+            outcome.format_cost(),
             str(reach) if reach is not None else "-",
-            f"{result.evaluations}",
-            f"{result.wall_time_s:.2f}s",
-            f"{result.memory_bytes / 1e6:.2f}MB",
+            f"{outcome.evaluations}",
+            f"{outcome.wall_time_s:.2f}s",
+            f"{outcome.memory_bytes / 1e6:.2f}MB",
         ])
     print(format_table(
-        ["method", f"best {args.objective}", "epochs to within 10% of best",
-         "evaluations", "wall time", "memory"],
+        ["method", "kind", f"best {args.objective}",
+         "epochs to within 10% of best", "evaluations", "wall time",
+         "memory"],
         rows, title="Search-method comparison"))
 
 

@@ -1,17 +1,32 @@
 """ConfuciuX reproduction: autonomous HW resource assignment for DNN
 accelerators via reinforcement learning (Kao, Jeong & Krishna, MICRO 2020).
 
-Public API tour::
+Public API tour -- the unified session layer::
 
-    from repro import ConfuciuX, get_model
+    import repro
 
-    pipeline = ConfuciuX(get_model("mobilenet_v2"), objective="latency",
-                         dataflow="dla", platform="iot",
-                         constraint_kind="area", seed=0)
-    result = pipeline.run(global_epochs=300, finetune_generations=100)
-    print(result.best_cost, result.utilization())
+    # One call: any registered method, one frozen config, one result.
+    result = repro.explore(model="mobilenet_v2", method="confuciux",
+                           objective="latency", platform="iot",
+                           budget=300, seed=0)
+    print(result.summary(), result.best_cost)
+    result.save("run.json")          # spec + result round-trip as JSON
+
+    # The same thing, spelled out, with lifecycle observers:
+    spec = repro.SearchSpec(model="mobilenet_v2", method="sa",
+                            budget=500, seed=0)
+    session = repro.SearchSession(spec)
+    result = session.run(callbacks=[repro.ProgressReporter(every=100)])
+
+    # Every search method lives in one registry with capability metadata:
+    for info in repro.list_methods():
+        print(info.name, info.kind)
+
+The legacy two-stage entry point (``ConfuciuX(...).run(...)``) keeps
+working but is deprecated in favor of the session API above.
 
 Subpackages:
+    search      -- the unified session API (spec, registry, sessions).
     models      -- DNN workload zoo (layer shapes).
     costmodel   -- the analytical MAESTRO-substitute estimator.
     nn          -- numpy autograd + NN substrate.
@@ -36,8 +51,23 @@ from repro.core.evaluator import DesignPointEvaluator
 from repro.rl import RL_ALGORITHMS, Reinforce
 from repro.optim import BASELINE_OPTIMIZERS
 from repro.ga import LocalGA
+from repro.search import (
+    CheckpointHook,
+    EarlyStopping,
+    MethodInfo,
+    ProgressReporter,
+    SearchObserver,
+    SearchSession,
+    SearchSpec,
+    SessionResult,
+    explore,
+    get_method,
+    list_methods,
+    method_names,
+    register_method,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Layer",
@@ -58,6 +88,20 @@ __all__ = [
     "LocalGA",
     "ConfuciuX",
     "JointSearch",
+    # Unified session API.
+    "SearchSpec",
+    "SearchSession",
+    "SessionResult",
+    "explore",
+    "MethodInfo",
+    "register_method",
+    "get_method",
+    "list_methods",
+    "method_names",
+    "SearchObserver",
+    "ProgressReporter",
+    "EarlyStopping",
+    "CheckpointHook",
     "__version__",
 ]
 

@@ -2,15 +2,22 @@
 
 Commands:
     models               List the workload zoo with layer/MAC statistics.
+    methods              List every registered search method.
     evaluate             Run the cost model on a uniform design point.
-    search               Run the full two-stage ConfuciuX pipeline.
+    search               Run any registered search method on one task.
+    compare              Run several methods on the same task and grid
+                         the results.
 
 Examples::
 
     python -m repro models
+    python -m repro methods
     python -m repro evaluate --model resnet50 --pes 64 --buffer 99
-    python -m repro search --model mobilenet_v2 --platform iot \
-        --objective latency --epochs 300
+    python -m repro search --model mobilenet_v2 --method confuciux \
+        --platform iot --objective latency --budget 300
+    python -m repro search --model mnasnet --method sa --budget 500
+    python -m repro compare --model mobilenet_v2 \
+        --methods random,ga,ppo2,reinforce --budget 150
 """
 
 from __future__ import annotations
@@ -22,6 +29,13 @@ from repro.core.reporting import format_table
 from repro.costmodel import CostModel
 from repro.models import get_model, list_models
 from repro.models.layers import summarize
+from repro.search import (
+    ProgressReporter,
+    SearchSession,
+    SearchSpec,
+    list_methods,
+    method_names,
+)
 
 
 def cmd_models(_args: argparse.Namespace) -> int:
@@ -40,6 +54,24 @@ def cmd_models(_args: argparse.Namespace) -> int:
     print(format_table(
         ["model", "layers", "MACs", "weights", "layer types"], rows,
         title="Workload zoo"))
+    return 0
+
+
+def cmd_methods(_args: argparse.Namespace) -> int:
+    rows = []
+    for info in list_methods():
+        capabilities = []
+        if info.batchable:
+            capabilities.append("batchable")
+        if info.supports_finetune:
+            capabilities.append("fine-tunes")
+        if info.variant_of:
+            capabilities.append(f"variant of {info.variant_of}")
+        rows.append([info.name, info.kind, ", ".join(capabilities) or "-",
+                     info.description])
+    print(format_table(
+        ["method", "kind", "capabilities", "description"], rows,
+        title="Registered search methods"))
     return 0
 
 
@@ -63,41 +95,63 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_search(args: argparse.Namespace) -> int:
-    from repro.core.confuciux import ConfuciuX
-
-    layers = get_model(args.model)
-    if args.layers:
-        layers = layers[: args.layers]
-    pipeline = ConfuciuX(
-        layers,
+def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
+    return SearchSpec(
+        model=args.model,
+        method=method,
         objective=args.objective,
-        dataflow=None if args.mix else args.dataflow,
-        mix=args.mix,
+        dataflow=args.dataflow,
         constraint_kind=args.constraint,
         platform=args.platform,
-        policy=args.policy,
+        budget=args.budget,
         seed=args.seed,
+        mix=args.mix,
+        layer_slice=args.layers or None,
+        finetune=args.finetune,
     )
-    result = pipeline.run(global_epochs=args.epochs,
-                          finetune_generations=args.finetune)
-    if result.best_cost is None:
-        print("No feasible assignment found; increase --epochs.")
-        return 1
-    impr1, impr2 = result.improvement_fractions()
+
+
+def _print_two_stage(result, args) -> None:
+    """The classic ConfuciuX stage table (from the session detail)."""
+    detail = result.detail
+    impr1, impr2 = detail.improvement_fractions()
     print(format_table(
         ["stage", args.objective, "improvement"],
         [
-            ["first valid", f"{result.initial_valid_cost:.3E}", "-"],
-            ["global search", f"{result.global_cost:.3E}",
+            ["first valid", f"{detail.initial_valid_cost:.3E}", "-"],
+            ["global search", f"{detail.global_cost:.3E}",
              f"{100 * impr1:.1f}%" if impr1 is not None else "-"],
-            ["fine-tuned", f"{result.best_cost:.3E}",
+            ["fine-tuned", f"{detail.best_cost:.3E}",
              f"{100 * impr2:.1f}%" if impr2 is not None else "-"],
         ],
-        title=f"ConfuciuX on {args.model} ({len(layers)} layers), "
+        title=f"ConfuciuX on {args.model}, "
               f"{args.constraint}:{args.platform}"))
     print()
-    print(result.utilization())
+    print(detail.utilization())
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, args.method)
+    session = SearchSession(spec)
+    callbacks = [ProgressReporter(every=args.progress)] \
+        if args.progress else []
+    result = session.run(callbacks=callbacks)
+    if not result.feasible:
+        print("No feasible assignment found; increase --budget.")
+        return 1
+    if result.detail is not None:
+        _print_two_stage(result, args)
+    else:
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["method", spec.method],
+                [f"best {args.objective}", f"{result.best_cost:.3E}"],
+                ["evaluations", result.result.evaluations],
+                ["wall time", f"{result.result.wall_time_s:.2f}s"],
+            ],
+            title=result.summary()))
+    layers = spec.task().layers()
     rows = []
     for i, (layer, assignment) in enumerate(zip(layers,
                                                 result.best_assignments)):
@@ -106,7 +160,55 @@ def cmd_search(args: argparse.Namespace) -> int:
                      assignment[1]])
     print()
     print(format_table(["#", "layer", "dataflow", "PEs", "L1 bytes"], rows))
+    if args.save:
+        result.save(args.save)
+        print(f"\nSaved result (spec included) to {args.save}")
     return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    cost_model = CostModel()
+    rows = []
+    for method in methods:
+        spec = _spec_from_args(args, method)
+        result = SearchSession(spec, cost_model=cost_model).run()
+        rows.append([
+            method,
+            result.result.format_cost(),
+            result.result.evaluations,
+            f"{result.result.wall_time_s:.2f}s",
+        ])
+    print(format_table(
+        ["method", f"best {args.objective}", "evaluations", "wall time"],
+        rows,
+        title=f"{args.model} {args.objective} "
+              f"{args.constraint}:{args.platform}, budget {args.budget}"))
+    return 0
+
+
+def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="mobilenet_v2",
+                        choices=list_models())
+    parser.add_argument("--dataflow", default="dla",
+                        choices=["dla", "eye", "shi"])
+    parser.add_argument("--mix", action="store_true",
+                        help="co-search the dataflow per layer")
+    parser.add_argument("--objective", default="latency",
+                        choices=["latency", "energy", "edp"])
+    parser.add_argument("--constraint", default="area",
+                        choices=["area", "power"])
+    parser.add_argument("--platform", default="iot",
+                        choices=["unlimited", "cloud", "iot", "iotx"])
+    parser.add_argument("--budget", "--epochs", dest="budget", type=int,
+                        default=300,
+                        help="search budget (episodes / evaluations)")
+    parser.add_argument("--finetune", type=int, default=None,
+                        help="stage-2 budget for two-stage methods "
+                             "(default: budget // 4)")
+    parser.add_argument("--layers", type=int, default=0,
+                        help="restrict to the first N layers (0 = all)")
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list the workload zoo")
+    sub.add_parser("methods", help="list registered search methods")
 
     evaluate = sub.add_parser("evaluate",
                               help="cost-model a uniform design point")
@@ -124,25 +227,23 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--pes", type=int, default=16)
     evaluate.add_argument("--buffer", type=int, default=39)
 
-    search = sub.add_parser("search", help="run the ConfuciuX pipeline")
-    search.add_argument("--model", default="mobilenet_v2",
-                        choices=list_models())
-    search.add_argument("--dataflow", default="dla",
-                        choices=["dla", "eye", "shi"])
-    search.add_argument("--mix", action="store_true",
-                        help="co-search the dataflow per layer")
-    search.add_argument("--objective", default="latency",
-                        choices=["latency", "energy", "edp"])
-    search.add_argument("--constraint", default="area",
-                        choices=["area", "power"])
-    search.add_argument("--platform", default="iot",
-                        choices=["unlimited", "cloud", "iot", "iotx"])
-    search.add_argument("--policy", default="rnn", choices=["rnn", "mlp"])
-    search.add_argument("--epochs", type=int, default=300)
-    search.add_argument("--finetune", type=int, default=100)
-    search.add_argument("--layers", type=int, default=0,
-                        help="restrict to the first N layers (0 = all)")
-    search.add_argument("--seed", type=int, default=0)
+    search = sub.add_parser("search",
+                            help="run any registered search method")
+    search.add_argument("--method", default="confuciux",
+                        choices=method_names(),
+                        help="registered search method")
+    search.add_argument("--progress", type=int, default=0,
+                        help="print progress every N steps (0 = off)")
+    search.add_argument("--save", default=None,
+                        help="write the SessionResult JSON here")
+    _add_task_arguments(search)
+
+    compare = sub.add_parser("compare",
+                             help="run several methods on one task")
+    compare.add_argument("--methods",
+                         default="random,ga,ppo2,reinforce",
+                         help="comma-separated registered method names")
+    _add_task_arguments(compare)
     return parser
 
 
@@ -150,8 +251,10 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "models": cmd_models,
+        "methods": cmd_methods,
         "evaluate": cmd_evaluate,
         "search": cmd_search,
+        "compare": cmd_compare,
     }
     return handlers[args.command](args)
 

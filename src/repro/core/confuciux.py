@@ -10,6 +10,7 @@ converged global value, the fine-tuned value, the convergence traces
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -160,7 +161,27 @@ class ConfuciuX:
     # ------------------------------------------------------------------
     def run(self, global_epochs: int = 500,
             finetune_generations: int = 200) -> ConfuciuXResult:
-        """Run both stages; set ``finetune_generations=0`` to skip stage 2."""
+        """Run both stages; set ``finetune_generations=0`` to skip stage 2.
+
+        .. deprecated:: 1.1
+            Call the pipeline through the unified session API instead::
+
+                repro.explore(model=..., method="confuciux",
+                              budget=global_epochs,
+                              finetune=finetune_generations)
+
+            The direct path keeps working (and produces identical
+            results) but emits a :class:`DeprecationWarning`.
+        """
+        warnings.warn(
+            "ConfuciuX.run() is deprecated; use repro.explore(...) or "
+            "repro.SearchSession (method='confuciux') instead",
+            DeprecationWarning, stacklevel=2)
+        return self._run(global_epochs, finetune_generations)
+
+    def _run(self, global_epochs: int = 500,
+             finetune_generations: int = 200) -> ConfuciuXResult:
+        """Both stages, shim-free (the session API calls this)."""
         # Fresh evaluation counters per run: the evaluator is shared
         # between the fine-tune stage and the utilization measurement
         # within one run, but must not leak counts across runs.

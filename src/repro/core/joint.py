@@ -45,7 +45,7 @@ class JointSearch:
 
     def run(self, global_epochs: int = 500,
             finetune_generations: int = 200) -> ConfuciuXResult:
-        return self.pipeline.run(global_epochs, finetune_generations)
+        return self.pipeline._run(global_epochs, finetune_generations)
 
 
 def dataflow_assignment_table(

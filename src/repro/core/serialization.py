@@ -38,6 +38,7 @@ def search_result_to_dict(result: SearchResult) -> dict:
         "episodes": result.episodes,
         "wall_time_s": result.wall_time_s,
         "memory_bytes": result.memory_bytes,
+        "extra": dict(result.extra),
     }
 
 
@@ -61,6 +62,8 @@ def search_result_from_dict(data: dict) -> SearchResult:
     result.episodes = data["episodes"]
     result.wall_time_s = data["wall_time_s"]
     result.memory_bytes = data["memory_bytes"]
+    # Documents written before the session API lack the extra payload.
+    result.extra = dict(data.get("extra", {}))
     return result
 
 

@@ -1,52 +1,45 @@
 """Run a set of search methods against one task and collect results.
 
-The comparison tables (III, IV, V) are all "methods x tasks" grids; this
-module provides the method registry (construction with per-method seeds)
-and the loop that gives every method a fresh environment/evaluator over a
-shared cost model, so cached layer evaluations are reused across methods
-without leaking search state.
+The comparison tables (III, IV, V) are all "methods x tasks" grids.  This
+module is now a thin veneer over the unified method registry
+(:mod:`repro.search.registry`) and the session runners
+(:mod:`repro.search.session`): every method -- episodic RL, genome-space
+baseline, the stage-2 GA, or the full two-stage pipeline -- is resolved by
+name and driven through its registered run protocol, with a fresh
+environment/evaluator per method over a shared cost model so cached layer
+evaluations are reused across methods without leaking search state.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional
 
-from repro.core.evaluator import DesignPointEvaluator
 from repro.costmodel.estimator import CostModel
 from repro.experiments.tasks import TaskSpec
-from repro.optim import BASELINE_OPTIMIZERS
-from repro.rl import RL_ALGORITHMS
 from repro.rl.common import SearchResult
+# NOTE: repro.search.session is imported lazily inside compare_methods;
+# importing it here would close a cycle (session -> experiments.tasks ->
+# experiments/__init__ -> runner) while session is still initializing.
+from repro.search.registry import KIND_EPISODIC, get_method, method_names
 
-#: Method name -> factory(seed) for every search method in the repository.
-_FACTORIES: Dict[str, Callable] = {}
-_FACTORIES.update({
-    name: (lambda cls: (lambda seed: cls(seed=seed)))(cls)
-    for name, cls in BASELINE_OPTIMIZERS.items()
-})
-_FACTORIES.update({
-    name: (lambda cls: (lambda seed: cls(seed=seed)))(cls)
-    for name, cls in RL_ALGORITHMS.items()
-})
-_FACTORIES["reinforce-mlp"] = lambda seed: RL_ALGORITHMS["reinforce"](
-    policy="mlp", seed=seed)
 
-#: Which methods drive the env (episodic RL) vs. the genome evaluator.
-RL_METHODS = frozenset(RL_ALGORITHMS) | {"reinforce-mlp"}
+def _episodic_names() -> frozenset:
+    return frozenset(method_names(kind=KIND_EPISODIC))
+
+
+#: Methods that drive the env (episodic RL) vs. the genome evaluator.
+#: Kept for backward compatibility; derived from registry metadata.
+RL_METHODS = _episodic_names()
 
 
 def method_factories(names: Iterable[str]) -> Dict[str, Callable]:
-    """Resolve method names to factories, failing fast on typos."""
-    factories = {}
-    for name in names:
-        try:
-            factories[name] = _FACTORIES[name]
-        except KeyError:
-            raise KeyError(
-                f"unknown method {name!r}; available: "
-                f"{', '.join(sorted(_FACTORIES))}"
-            ) from None
-    return factories
+    """Resolve method names to seeded factories, failing fast on typos.
+
+    Every factory follows the registry seed contract: it accepts
+    ``seed`` (``None`` for fresh entropy) and builds its RNG as
+    ``np.random.default_rng(seed)``.
+    """
+    return {name: get_method(name).factory for name in names}
 
 
 def compare_methods(
@@ -60,17 +53,19 @@ def compare_methods(
 
     RL methods consume ``epochs`` episodes; baselines consume ``epochs``
     whole-design-point evaluations -- the paper's protocol (both are one
-    cost-model pass per layer per epoch for LP tasks).
+    cost-model pass per layer per epoch for LP tasks).  Any registered
+    method name is accepted, including ``local-ga`` and the two-stage
+    ``confuciux`` pipeline.
     """
+    from repro.search.session import SessionContext, run_method
+
     cost_model = cost_model or CostModel()
     constraint = task.constraint(cost_model)
     results: Dict[str, SearchResult] = {}
-    for name, factory in method_factories(methods).items():
-        method = factory(seed)
-        if name in RL_METHODS:
-            env = task.make_env(cost_model, constraint)
-            results[name] = method.search(env, epochs)
-        else:
-            evaluator = task.make_evaluator(cost_model, constraint)
-            results[name] = method.search(evaluator, epochs)
+    for name in methods:
+        info = get_method(name)
+        context = SessionContext(task=task, budget=epochs, seed=seed,
+                                 cost_model=cost_model,
+                                 constraint=constraint)
+        results[name] = run_method(info, context)
     return results

@@ -1,0 +1,66 @@
+"""Unified search sessions: one registry, one config, one result.
+
+This package is the public API for running any search method the
+repository ships (or that you register) against any workload:
+
+* :class:`~repro.search.spec.SearchSpec` -- frozen, JSON-serializable run
+  configuration.
+* :func:`~repro.search.registry.register_method` /
+  :func:`~repro.search.registry.list_methods` -- the global method
+  registry with capability metadata.
+* :class:`~repro.search.session.SearchSession` /
+  :func:`~repro.search.session.explore` -- the façade that runs a spec
+  and returns a :class:`~repro.search.session.SessionResult`.
+* :class:`~repro.search.callbacks.SearchObserver` and friends -- progress
+  reporting, early stopping, and checkpointing hooks.
+"""
+
+from repro.search.callbacks import (
+    CheckpointHook,
+    EarlyStopping,
+    ProgressReporter,
+    SearchObserver,
+    StopSearch,
+)
+from repro.search.registry import (
+    KIND_EPISODIC,
+    KIND_GENOME,
+    KIND_TWO_STAGE,
+    MethodInfo,
+    get_method,
+    list_methods,
+    method_names,
+    register_method,
+    unregister_method,
+)
+from repro.search.session import (
+    SearchSession,
+    SessionContext,
+    SessionResult,
+    explore,
+    run_method,
+)
+from repro.search.spec import SearchSpec
+
+__all__ = [
+    "SearchSpec",
+    "SearchSession",
+    "SessionResult",
+    "SessionContext",
+    "explore",
+    "run_method",
+    "MethodInfo",
+    "register_method",
+    "unregister_method",
+    "get_method",
+    "list_methods",
+    "method_names",
+    "KIND_EPISODIC",
+    "KIND_GENOME",
+    "KIND_TWO_STAGE",
+    "SearchObserver",
+    "ProgressReporter",
+    "EarlyStopping",
+    "CheckpointHook",
+    "StopSearch",
+]

@@ -1,0 +1,141 @@
+"""The immutable run configuration behind every :class:`SearchSession`.
+
+A :class:`SearchSpec` captures *everything* that determines a search run --
+workload, platform, objective, dataflow, constraint kind, method, budget
+and seed -- as one frozen dataclass, so a run can be named, logged,
+compared, and reproduced from a single JSON document.  Two runs built from
+equal specs produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Optional
+
+from repro.experiments.tasks import TaskSpec
+from repro.models.zoo import list_models
+
+#: Values accepted by the validated enum-like fields.
+OBJECTIVES = ("latency", "energy", "edp")
+DATAFLOWS = ("dla", "eye", "shi")
+CONSTRAINT_KINDS = ("area", "power", "resource")
+PLATFORMS = ("unlimited", "cloud", "iot", "iotx")
+DEPLOYMENTS = ("lp", "ls")
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """A fully specified, serializable search run.
+
+    Attributes:
+        model: Workload-zoo name (kept to registry names so the spec stays
+            serializable; pass explicit layer lists through
+            :class:`repro.experiments.tasks.TaskSpec` instead).
+        method: Registered search-method name (see
+            :func:`repro.search.registry.list_methods`).
+        objective: "latency" | "energy" | "edp" (minimized).
+        dataflow: Fixed style, also used for constraint calibration under
+            MIX.
+        constraint_kind: "area" | "power" (Table II platform budgets) or
+            "resource" (FPGA caps, Table VIII).
+        platform: Table-II budget tier.
+        budget: Search budget -- episodes for episodic-RL methods, whole
+            design-point evaluations for genome-space methods, stage-1
+            epochs for two-stage methods.
+        seed: Master RNG seed handed to the method factory (``None`` draws
+            fresh OS entropy; fix it for reproducible runs).
+        mix: Per-layer dataflow co-automation (Section IV-D).
+        num_levels: Coarse action levels L (Table I).
+        max_pes: Top of the PE ladder.
+        deployment: "lp" or "ls".
+        max_total_pes / max_total_l1: FPGA caps when ``constraint_kind``
+            is "resource".
+        layer_slice: Restrict to the first N layers (None = full model).
+        finetune: Stage-2 budget for two-stage methods; ``None`` means
+            ``budget // 4``.  Ignored by single-stage methods.
+    """
+
+    model: str
+    method: str = "confuciux"
+    objective: str = "latency"
+    dataflow: str = "dla"
+    constraint_kind: str = "area"
+    platform: str = "iot"
+    budget: int = 500
+    seed: Optional[int] = 0
+    mix: bool = False
+    num_levels: int = 12
+    max_pes: int = 128
+    deployment: str = "lp"
+    max_total_pes: int = 4096
+    max_total_l1: int = 8192
+    layer_slice: Optional[int] = None
+    finetune: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model, str):
+            raise TypeError(
+                "SearchSpec.model must be a workload-zoo name (a str); "
+                "use TaskSpec for explicit layer lists")
+        if self.model not in list_models():
+            raise ValueError(
+                f"unknown model {self.model!r}; see repro.list_models()")
+        for attribute, allowed in (("objective", OBJECTIVES),
+                                   ("dataflow", DATAFLOWS),
+                                   ("constraint_kind", CONSTRAINT_KINDS),
+                                   ("platform", PLATFORMS),
+                                   ("deployment", DEPLOYMENTS)):
+            value = getattr(self, attribute)
+            if value not in allowed:
+                raise ValueError(
+                    f"{attribute} must be one of {allowed}, got {value!r}")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.finetune is not None and self.finetune < 0:
+            raise ValueError("finetune must be >= 0 (0 skips stage 2)")
+        if self.num_levels < 2:
+            raise ValueError("num_levels must be >= 2")
+
+    # ------------------------------------------------------------------
+    @property
+    def finetune_budget(self) -> int:
+        """Resolved stage-2 budget: explicit ``finetune`` or ``budget//4``."""
+        return self.budget // 4 if self.finetune is None else self.finetune
+
+    def task(self) -> TaskSpec:
+        """The equivalent :class:`TaskSpec` (env/evaluator construction)."""
+        return TaskSpec(
+            model=self.model, dataflow=self.dataflow,
+            objective=self.objective, constraint_kind=self.constraint_kind,
+            platform=self.platform, mix=self.mix,
+            num_levels=self.num_levels, max_pes=self.max_pes,
+            deployment=self.deployment, max_total_pes=self.max_total_pes,
+            max_total_l1=self.max_total_l1, layer_slice=self.layer_slice)
+
+    def replace(self, **changes) -> "SearchSpec":
+        """A copy with ``changes`` applied (validation re-runs)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe dict fully reconstructing this spec."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SearchSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """This spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, document: str) -> "SearchSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))

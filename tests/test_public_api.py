@@ -1,8 +1,10 @@
 """Contract tests on the public API surface.
 
 Guards the importable surface the README documents: `__all__` integrity,
-docstring presence on every public item, and the lazy exports that keep
-the import graph acyclic.
+docstring presence on every public item, the lazy exports that keep the
+import graph acyclic, and -- since the session redesign -- that BOTH the
+legacy surface (``ConfuciuX.run``, direct optimizer construction) and the
+unified session surface (``repro.explore`` / ``SearchSession``) work.
 """
 
 import importlib
@@ -24,6 +26,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.analysis",
     "repro.experiments",
+    "repro.search",
 ]
 
 
@@ -41,7 +44,7 @@ class TestImportSurface:
                 f"{name}.{symbol} in __all__ but unresolvable"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_lazy_exports(self):
         assert repro.ConfuciuX.__name__ == "ConfuciuX"
@@ -56,6 +59,14 @@ class TestImportSurface:
         assert core.solution_report is not None
         with pytest.raises(AttributeError):
             core.DoesNotExist
+
+    def test_session_api_exported(self):
+        # The session layer is reachable from the package root.
+        for symbol in ("SearchSpec", "SearchSession", "SessionResult",
+                       "explore", "register_method", "get_method",
+                       "list_methods", "SearchObserver", "ProgressReporter",
+                       "EarlyStopping", "CheckpointHook"):
+            assert getattr(repro, symbol, None) is not None, symbol
 
 
 class TestDocstrings:
@@ -79,6 +90,10 @@ class TestDocstrings:
         "repro.core.confuciux",
         "repro.core.serialization",
         "repro.optim.base",
+        "repro.search.spec",
+        "repro.search.registry",
+        "repro.search.session",
+        "repro.search.callbacks",
     ])
     def test_every_public_item_documented(self, name):
         module = importlib.import_module(name)
@@ -98,3 +113,49 @@ class TestDocstrings:
         assert not set(RL_ALGORITHMS) & set(BASELINE_OPTIMIZERS)
         for name, cls in {**RL_ALGORITHMS, **BASELINE_OPTIMIZERS}.items():
             assert cls.name == name
+
+    def test_unified_registry_absorbs_legacy_registries(self):
+        from repro.optim import BASELINE_OPTIMIZERS
+        from repro.rl import RL_ALGORITHMS
+
+        names = set(repro.method_names())
+        assert set(BASELINE_OPTIMIZERS) <= names
+        assert set(RL_ALGORITHMS) <= names
+        assert {"reinforce-mlp", "local-ga", "confuciux"} <= names
+
+
+class TestLegacySurface:
+    """The pre-session call paths stay importable and runnable."""
+
+    def test_confuciux_run_works_but_warns(self, tiny_model, cost_model):
+        pipeline = repro.ConfuciuX(
+            tiny_model, objective="latency", dataflow="dla",
+            constraint_kind="area", platform="cloud",
+            cost_model=cost_model, seed=0)
+        with pytest.deprecated_call():
+            result = pipeline.run(global_epochs=5, finetune_generations=2)
+        assert result.best_cost is not None
+
+    def test_direct_optimizer_construction_works(self, tiny_model,
+                                                 cost_model):
+        from repro.experiments.tasks import TaskSpec
+
+        task = TaskSpec(model=tiny_model, platform="cloud")
+        optimizer = repro.BASELINE_OPTIMIZERS["random"](seed=0)
+        result = optimizer.search(task.make_evaluator(cost_model), 10)
+        assert result.algorithm == "random"
+        assert len(result.history) == 10
+
+    def test_legacy_and_session_paths_agree(self, cost_model):
+        # The redesign is a façade: same seeds, same numbers.
+        from repro.experiments.tasks import TaskSpec
+
+        task = TaskSpec(model="ncf", platform="cloud")
+        legacy = repro.BASELINE_OPTIMIZERS["sa"](seed=3).search(
+            task.make_evaluator(cost_model,
+                                task.constraint(cost_model)), 20)
+        session = repro.explore(model="ncf", method="sa", budget=20,
+                                seed=3, platform="cloud",
+                                cost_model=cost_model)
+        assert session.best_cost == legacy.best_cost
+        assert session.history == legacy.history

@@ -1,0 +1,99 @@
+"""Tests for the frozen, serializable SearchSpec."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.tasks import TaskSpec
+from repro.search import SearchSpec
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = SearchSpec(model="ncf")
+        assert spec.method == "confuciux"
+        assert spec.budget == 500
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            SearchSpec(model="alexnet9000")
+
+    def test_rejects_layer_list_models(self):
+        with pytest.raises(TypeError, match="workload-zoo name"):
+            SearchSpec(model=["not", "a", "name"])
+
+    @pytest.mark.parametrize("field,value", [
+        ("objective", "throughput"),
+        ("dataflow", "tpu"),
+        ("constraint_kind", "thermal"),
+        ("platform", "mars"),
+        ("deployment", "serverless"),
+    ])
+    def test_rejects_bad_enums(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            SearchSpec(model="ncf", **{field: value})
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError, match="budget"):
+            SearchSpec(model="ncf", budget=0)
+        with pytest.raises(ValueError, match="finetune"):
+            SearchSpec(model="ncf", finetune=-1)
+
+    def test_frozen(self):
+        spec = SearchSpec(model="ncf")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.budget = 10
+
+    def test_replace_revalidates(self):
+        spec = SearchSpec(model="ncf", budget=10)
+        assert spec.replace(budget=20).budget == 20
+        with pytest.raises(ValueError):
+            spec.replace(platform="mars")
+
+
+class TestDerived:
+    def test_finetune_budget_default(self):
+        assert SearchSpec(model="ncf", budget=100).finetune_budget == 25
+        assert SearchSpec(model="ncf", budget=100,
+                          finetune=7).finetune_budget == 7
+        assert SearchSpec(model="ncf", budget=100,
+                          finetune=0).finetune_budget == 0
+
+    def test_task_mirrors_spec(self):
+        spec = SearchSpec(model="mobilenet_v2", objective="energy",
+                          platform="cloud", layer_slice=5, mix=True)
+        task = spec.task()
+        assert isinstance(task, TaskSpec)
+        assert task.model == "mobilenet_v2"
+        assert task.objective == "energy"
+        assert task.platform == "cloud"
+        assert task.layer_slice == 5
+        assert task.mix is True
+        assert len(task.layers()) == 5
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        spec = SearchSpec(model="resnet50", method="sa", budget=42,
+                          seed=7, layer_slice=3)
+        assert SearchSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_json(self):
+        spec = SearchSpec(model="ncf", method="random", seed=None,
+                          finetune=9)
+        clone = SearchSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.seed is None
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = SearchSpec(model="ncf").to_dict()
+        data["temperature"] = 451
+        with pytest.raises(ValueError, match="unknown SearchSpec fields"):
+            SearchSpec.from_dict(data)
+
+    def test_equal_specs_hash_unequal_differ(self):
+        a = SearchSpec(model="ncf", budget=10)
+        b = SearchSpec(model="ncf", budget=10)
+        c = SearchSpec(model="ncf", budget=11)
+        assert a == b
+        assert a != c
