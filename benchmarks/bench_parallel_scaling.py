@@ -1,0 +1,125 @@
+"""Perf tracker: parallel speedup of sharded population evaluation.
+
+Takes the ``BENCH_costmodel.json`` workload (20 MobileNet-V2 layers x a
+random design-point population) and times one big
+``evaluate_population`` batch through every execution backend at 1 / 2 /
+4 workers, verifying bit-identical results against the serial kernel.
+Writes ``BENCH_parallel.json`` at the repo root::
+
+    {"serial_s": ..., "cpu_count": ...,
+     "thread": {"1": ..., "2": ..., "4": ...},
+     "process": {"1": ..., "2": ..., "4": ...},
+     "speedup_process_4": ...}
+
+Process sharding only buys wall-clock when there are cores to shard
+onto: the acceptance bar (>= 2x at 4 workers) is asserted when the
+machine has >= 4 CPUs and recorded either way, so the perf trajectory
+stays comparable across hosts.  The population is larger than the cost
+model bench's 512 (sharding has per-batch IPC overhead that the paper's
+population sizes would hide in noise) -- the *workload definition*
+(model, layers, genome distribution) is identical.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.constraints import platform_constraint
+from repro.core.evaluator import DesignPointEvaluator
+from repro.core.reporting import format_table
+from repro.costmodel import CostModel
+from repro.env.spaces import ActionSpace
+from repro.models import get_model
+from repro.parallel import make_backend
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+NUM_LAYERS = 20
+POPULATION = 4096
+WORKER_COUNTS = (1, 2, 4)
+REPEATS = 3
+
+
+def _population(space, num_layers, size, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        [int(g) for g in rng.integers(space.num_levels, size=2 * num_layers)]
+        for _ in range(size)
+    ]
+
+
+def _time_population(evaluator, genomes):
+    best = float("inf")
+    outcomes = None
+    for _ in range(REPEATS):
+        gc.collect()
+        started = time.perf_counter()
+        outcomes = evaluator.evaluate_population(genomes)
+        best = min(best, time.perf_counter() - started)
+    return best, outcomes
+
+
+def test_parallel_scaling(save_report):
+    layers = get_model("mobilenet_v2")[:NUM_LAYERS]
+    space = ActionSpace.build("dla")
+    constraint = platform_constraint(layers, "dla", "area", "cloud",
+                                     CostModel(), space)
+    genomes = _population(space, NUM_LAYERS, POPULATION, seed=0)
+
+    def make_evaluator(backend=None):
+        model = CostModel()
+        model.set_executor(backend)
+        return DesignPointEvaluator(layers, "latency", constraint, model,
+                                    space, dataflow="dla")
+
+    serial_s, reference = _time_population(make_evaluator(), genomes)
+
+    timings = {"thread": {}, "process": {}}
+    for executor in ("thread", "process"):
+        for workers in WORKER_COUNTS:
+            with make_backend(executor, workers) as backend:
+                evaluator = make_evaluator(backend)
+                # Warm-up spawns the pool and ships the layer table so
+                # the measurement sees steady-state generations.
+                evaluator.evaluate_population(genomes[:32])
+                seconds, outcomes = _time_population(evaluator, genomes)
+            timings[executor][str(workers)] = seconds
+            for want, got in zip(reference, outcomes):
+                assert want.cost == got.cost
+                assert want.feasible == got.feasible
+
+    cpu_count = os.cpu_count() or 1
+    speedup_process_4 = serial_s / timings["process"]["4"]
+    rows = [["serial", "-", f"{serial_s * 1e3:.2f} ms", "1.00x"]]
+    for executor in ("thread", "process"):
+        for workers in WORKER_COUNTS:
+            seconds = timings[executor][str(workers)]
+            rows.append([executor, str(workers), f"{seconds * 1e3:.2f} ms",
+                         f"{serial_s / seconds:.2f}x"])
+    save_report("bench_parallel_scaling", format_table(
+        ["backend", "workers", "batch time", "speedup"], rows,
+        title=f"population {POPULATION} x {NUM_LAYERS} layers on "
+              f"{cpu_count} CPU(s), bit-identical across backends"))
+
+    payload = {
+        "serial_s": serial_s,
+        "cpu_count": cpu_count,
+        "population": POPULATION,
+        "num_layers": NUM_LAYERS,
+        **timings,
+        "speedup_process_4": speedup_process_4,
+    }
+    (REPO_ROOT / "BENCH_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    # The scaling bar only means something with cores to scale onto.
+    if cpu_count >= 4:
+        assert speedup_process_4 >= 2.0, (
+            f"expected >= 2x at 4 workers on {cpu_count} CPUs, got "
+            f"{speedup_process_4:.2f}x")

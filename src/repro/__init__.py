@@ -27,6 +27,8 @@ working but is deprecated in favor of the session API above.
 
 Subpackages:
     search      -- the unified session API (spec, registry, sessions).
+    parallel    -- serial/thread/process execution backends with
+                   shared-memory batch handoff (bit-identical results).
     models      -- DNN workload zoo (layer shapes).
     costmodel   -- the analytical MAESTRO-substitute estimator.
     nn          -- numpy autograd + NN substrate.
@@ -66,8 +68,9 @@ from repro.search import (
     method_names,
     register_method,
 )
+from repro.parallel import ParallelCoordinator, make_backend
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Layer",
@@ -102,6 +105,9 @@ __all__ = [
     "ProgressReporter",
     "EarlyStopping",
     "CheckpointHook",
+    # Parallel execution.
+    "ParallelCoordinator",
+    "make_backend",
     "__version__",
 ]
 

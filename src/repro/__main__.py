@@ -108,6 +108,8 @@ def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
         mix=args.mix,
         layer_slice=args.layers or None,
         finetune=args.finetune,
+        executor=args.executor,
+        workers=args.workers,
     )
 
 
@@ -167,18 +169,33 @@ def cmd_search(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelCoordinator
+
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     cost_model = CostModel()
     rows = []
-    for method in methods:
-        spec = _spec_from_args(args, method)
-        result = SearchSession(spec, cost_model=cost_model).run()
-        rows.append([
-            method,
-            result.result.format_cost(),
-            result.result.evaluations,
-            f"{result.result.wall_time_s:.2f}s",
-        ])
+    callbacks = []
+    first = _spec_from_args(args, methods[0]) if methods else None
+    if first is not None and first.resolved_executor() != "serial":
+        # One keep-alive coordinator: the worker pool spawns once and
+        # serves every method of the grid.
+        callbacks = [ParallelCoordinator(first.resolved_executor(),
+                                         first.resolved_workers(),
+                                         keep_alive=True)]
+    try:
+        for method in methods:
+            spec = _spec_from_args(args, method)
+            result = SearchSession(spec, cost_model=cost_model).run(
+                callbacks=callbacks)
+            rows.append([
+                method,
+                result.result.format_cost(),
+                result.result.evaluations,
+                f"{result.result.wall_time_s:.2f}s",
+            ])
+    finally:
+        for callback in callbacks:
+            callback.close()
     print(format_table(
         ["method", f"best {args.objective}", "evaluations", "wall time"],
         rows,
@@ -209,6 +226,15 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--layers", type=int, default=0,
                         help="restrict to the first N layers (0 = all)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--executor", default=None,
+                        choices=["serial", "thread", "process"],
+                        help="population-evaluation backend (default: "
+                             "$REPRO_EXECUTOR or serial; results are "
+                             "bit-identical across backends)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for parallel executors "
+                             "(default: $REPRO_WORKERS, else available "
+                             "cores capped at 8)")
 
 
 def build_parser() -> argparse.ArgumentParser:

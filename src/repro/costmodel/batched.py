@@ -40,6 +40,7 @@ __all__ = [
     "STYLE_INDEX",
     "BatchedCostModel",
     "LayerTable",
+    "evaluate_batch_kernel",
     "objective_totals",
     "ordered_row_sum",
 ]
@@ -135,16 +136,128 @@ class LayerTable:
         )
 
 
+def evaluate_batch_kernel(
+    hw: HardwareConfig,
+    table: LayerTable,
+    layer_idx: np.ndarray,
+    style_idx: np.ndarray,
+    pes: np.ndarray,
+    l1_bytes: np.ndarray,
+) -> BatchCostReport:
+    """The validated core of :meth:`BatchedCostModel.evaluate`.
+
+    Every operation is elementwise over the batch axis, so the kernel is
+    *shard-invariant*: evaluating any partition of the batch and
+    concatenating the shard outputs in order is bit-identical to one call
+    over the full batch.  The execution backends in :mod:`repro.parallel`
+    rely on this to fan one large batch out across worker processes.
+
+    Callers are expected to have validated the arrays (``BatchedCostModel
+    .evaluate`` does); the kernel itself runs no checks so worker shards
+    pay no redundant validation.
+    """
+    batch = layer_idx.size
+    units = np.empty(batch, dtype=np.int64)
+    unit_macs = np.empty(batch, dtype=np.int64)
+    weight_fetches = np.empty(batch, dtype=np.float64)
+    input_fetches = np.empty(batch, dtype=np.float64)
+    output_fetches = np.empty(batch, dtype=np.float64)
+    tile_k = np.empty(batch, dtype=np.int64)
+    for index, style in enumerate(BATCH_STYLES):
+        sel = np.flatnonzero(style_idx == index)
+        if sel.size == 0:
+            continue
+        plan = DATAFLOWS[style].plan_batch(
+            table.dims(layer_idx[sel]), pes[sel], l1_bytes[sel])
+        units[sel] = plan.units
+        unit_macs[sel] = plan.unit_macs
+        weight_fetches[sel] = plan.weight_fetches
+        input_fetches[sel] = plan.input_fetches
+        output_fetches[sel] = plan.output_fetches
+        tile_k[sel] = plan.tile_k
+
+    # ---- estimator epilogue, mirroring _evaluate_uncached ----------
+    pes_used = np.minimum(pes, units)
+    passes = -(-units // pes_used)
+    compute_cycles = (passes * unit_macs).astype(np.float64)
+    utilization = units / (passes * pes_used)
+
+    weight_bytes = table.weight_elements[layer_idx] * weight_fetches
+    input_bytes = table.input_elements[layer_idx] * input_fetches
+    output_bytes = table.output_elements[layer_idx] * output_fetches
+    l2_traffic = weight_bytes + input_bytes + output_bytes
+
+    dram_bytes = table.dram_bytes[layer_idx]
+    memory_cycles = dram_bytes / hw.dram_bandwidth_bytes_per_cycle
+    latency = np.maximum(compute_cycles, memory_cycles) \
+        + hw.pipeline_fill_cycles
+
+    l2_bytes = np.ceil(hw.l2_double_sizing * pes * l1_bytes) \
+        .astype(np.int64)
+
+    pe_area = hw.mac_area_um2 * pes
+    l1_area = hw.l1_area_per_byte_um2 * l1_bytes * pes
+    l2_area = hw.l2_area_per_byte_um2 * l2_bytes
+    noc_area = hw.noc_area_per_pe_um2 * pes
+    area = pe_area + l1_area + l2_area + noc_area
+
+    macs = table.macs[layer_idx]
+    dynamic_pj = (
+        macs * hw.mac_energy_pj
+        + macs * hw.l1_accesses_per_mac * hw.l1_energy_per_byte_pj
+        + l2_traffic * hw.l2_energy_per_byte_pj
+        + dram_bytes * hw.dram_energy_per_byte_pj
+    )
+    static_mw = (
+        pes * hw.pe_static_power_mw
+        + pes * l1_bytes * hw.l1_static_power_mw_per_byte
+        + l2_bytes * hw.l2_static_power_mw_per_byte
+    )
+    static_pj = static_mw * latency / hw.clock_ghz
+    energy_pj = dynamic_pj + static_pj
+    power_mw = energy_pj / latency * hw.clock_ghz
+
+    return BatchCostReport(
+        latency_cycles=latency,
+        energy_nj=energy_pj / 1000.0,
+        area_um2=area,
+        power_mw=power_mw,
+        pes_used=pes_used,
+        pe_utilization=utilization,
+        l1_bytes_per_pe=l1_bytes,
+        l2_bytes=l2_bytes,
+        tile_k=tile_k,
+        macs=macs,
+        dram_bytes=dram_bytes,
+        l2_traffic_bytes=l2_traffic,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        pe_area_um2=pe_area,
+        l1_area_um2=l1_area,
+        l2_area_um2=l2_area,
+        noc_area_um2=noc_area,
+    )
+
+
 class BatchedCostModel:
     """Vectorized counterpart of :class:`~repro.costmodel.CostModel`.
 
-    Stateless apart from the hardware constants: callers hold the
-    :class:`LayerTable` (typically one per search) and pass index/value
-    arrays describing the batch.
+    Stateless apart from the hardware constants and an optional execution
+    backend: callers hold the :class:`LayerTable` (typically one per
+    search) and pass index/value arrays describing the batch.
+
+    When ``executor`` is set (an :class:`repro.parallel.ExecutionBackend`),
+    validated batches are handed to it instead of the in-process kernel;
+    the backends shard the batch across threads or worker processes and
+    gather a bit-identical :class:`BatchCostReport`.
     """
 
-    def __init__(self, hw: HardwareConfig = DEFAULT_HW) -> None:
+    def __init__(self, hw: HardwareConfig = DEFAULT_HW,
+                 executor=None) -> None:
         self.hw = hw
+        #: Optional :class:`~repro.parallel.ExecutionBackend`; ``None``
+        #: runs the kernel in-process.
+        self.executor = executor
         self._single_tables: Dict[Layer, LayerTable] = {}
 
     # ------------------------------------------------------------------
@@ -191,88 +304,11 @@ class BatchedCostModel:
             raise ValueError(
                 f"style_idx out of range; styles: {', '.join(BATCH_STYLES)}")
 
-        batch = layer_idx.size
-        units = np.empty(batch, dtype=np.int64)
-        unit_macs = np.empty(batch, dtype=np.int64)
-        weight_fetches = np.empty(batch, dtype=np.float64)
-        input_fetches = np.empty(batch, dtype=np.float64)
-        output_fetches = np.empty(batch, dtype=np.float64)
-        tile_k = np.empty(batch, dtype=np.int64)
-        for index, style in enumerate(BATCH_STYLES):
-            sel = np.flatnonzero(style_idx == index)
-            if sel.size == 0:
-                continue
-            plan = DATAFLOWS[style].plan_batch(
-                table.dims(layer_idx[sel]), pes[sel], l1_bytes[sel])
-            units[sel] = plan.units
-            unit_macs[sel] = plan.unit_macs
-            weight_fetches[sel] = plan.weight_fetches
-            input_fetches[sel] = plan.input_fetches
-            output_fetches[sel] = plan.output_fetches
-            tile_k[sel] = plan.tile_k
-
-        # ---- estimator epilogue, mirroring _evaluate_uncached ----------
-        hw = self.hw
-        pes_used = np.minimum(pes, units)
-        passes = -(-units // pes_used)
-        compute_cycles = (passes * unit_macs).astype(np.float64)
-        utilization = units / (passes * pes_used)
-
-        weight_bytes = table.weight_elements[layer_idx] * weight_fetches
-        input_bytes = table.input_elements[layer_idx] * input_fetches
-        output_bytes = table.output_elements[layer_idx] * output_fetches
-        l2_traffic = weight_bytes + input_bytes + output_bytes
-
-        dram_bytes = table.dram_bytes[layer_idx]
-        memory_cycles = dram_bytes / hw.dram_bandwidth_bytes_per_cycle
-        latency = np.maximum(compute_cycles, memory_cycles) \
-            + hw.pipeline_fill_cycles
-
-        l2_bytes = np.ceil(hw.l2_double_sizing * pes * l1_bytes) \
-            .astype(np.int64)
-
-        pe_area = hw.mac_area_um2 * pes
-        l1_area = hw.l1_area_per_byte_um2 * l1_bytes * pes
-        l2_area = hw.l2_area_per_byte_um2 * l2_bytes
-        noc_area = hw.noc_area_per_pe_um2 * pes
-        area = pe_area + l1_area + l2_area + noc_area
-
-        macs = table.macs[layer_idx]
-        dynamic_pj = (
-            macs * hw.mac_energy_pj
-            + macs * hw.l1_accesses_per_mac * hw.l1_energy_per_byte_pj
-            + l2_traffic * hw.l2_energy_per_byte_pj
-            + dram_bytes * hw.dram_energy_per_byte_pj
-        )
-        static_mw = (
-            pes * hw.pe_static_power_mw
-            + pes * l1_bytes * hw.l1_static_power_mw_per_byte
-            + l2_bytes * hw.l2_static_power_mw_per_byte
-        )
-        static_pj = static_mw * latency / hw.clock_ghz
-        energy_pj = dynamic_pj + static_pj
-        power_mw = energy_pj / latency * hw.clock_ghz
-
-        return BatchCostReport(
-            latency_cycles=latency,
-            energy_nj=energy_pj / 1000.0,
-            area_um2=area,
-            power_mw=power_mw,
-            pes_used=pes_used,
-            pe_utilization=utilization,
-            l1_bytes_per_pe=l1_bytes,
-            l2_bytes=l2_bytes,
-            tile_k=tile_k,
-            macs=macs,
-            dram_bytes=dram_bytes,
-            l2_traffic_bytes=l2_traffic,
-            compute_cycles=compute_cycles,
-            memory_cycles=memory_cycles,
-            pe_area_um2=pe_area,
-            l1_area_um2=l1_area,
-            l2_area_um2=l2_area,
-            noc_area_um2=noc_area,
-        )
+        if self.executor is not None:
+            return self.executor.evaluate(self.hw, table, layer_idx,
+                                          style_idx, pes, l1_bytes)
+        return evaluate_batch_kernel(self.hw, table, layer_idx, style_idx,
+                                     pes, l1_bytes)
 
     # ------------------------------------------------------------------
     def evaluate_layer_batch(self, layer: Layer, dataflow, pes,

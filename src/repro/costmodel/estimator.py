@@ -34,6 +34,33 @@ from repro.models.layers import Layer
 LayerAssignment = Union[Tuple[int, int], Tuple[int, int, str]]
 
 
+def area_model(hw: HardwareConfig, pes: int,
+               l1_bytes: int) -> Tuple[float, float, float, float, int]:
+    """(pe, l1, l2, noc) areas and the L2 size for one design point.
+
+    Area depends only on the resource assignment, never on the layer, so
+    it has a closed form the planned-episode path can evaluate without
+    running the dataflow mapper.  This is the *single* definition of the
+    area arithmetic -- ``_evaluate_uncached`` consumes it too, so the
+    cheap check and the full report cannot drift apart bit-wise.
+    """
+    # L2 sized to double-buffer the aggregate resident tile.
+    l2_bytes = int(
+        math.ceil(hw.l2_double_sizing * pes * l1_bytes)
+    )
+    pe_area = hw.mac_area_um2 * pes
+    l1_area = hw.l1_area_per_byte_um2 * l1_bytes * pes
+    l2_area = hw.l2_area_per_byte_um2 * l2_bytes
+    noc_area = hw.noc_area_per_pe_um2 * pes
+    return pe_area, l1_area, l2_area, noc_area, l2_bytes
+
+
+def area_um2(hw: HardwareConfig, pes: int, l1_bytes: int) -> float:
+    """Total accelerator area for one design point (see ``area_model``)."""
+    pe_area, l1_area, l2_area, noc_area, _ = area_model(hw, pes, l1_bytes)
+    return pe_area + l1_area + l2_area + noc_area
+
+
 class CostModel:
     """Stateful facade: caches per-layer evaluations across a search.
 
@@ -61,6 +88,23 @@ class CostModel:
         if self._batched is None:
             self._batched = BatchedCostModel(self.hw)
         return self._batched
+
+    def set_executor(self, backend) -> None:
+        """Install (or, with ``None``, remove) an execution backend.
+
+        With a :class:`repro.parallel.ExecutionBackend` installed, every
+        batched evaluation through this model -- and therefore every
+        population-level consumer sharing it -- is sharded by the
+        backend.  Results are bit-identical either way; lifecycle is
+        owned by the caller (usually a
+        :class:`~repro.parallel.ParallelCoordinator`).
+        """
+        self.batched.executor = backend
+
+    @property
+    def executor(self):
+        """The installed execution backend, or ``None`` (serial)."""
+        return None if self._batched is None else self._batched.executor
 
     def evaluate_layer_batch(self, layer: Layer, dataflow, pes,
                              l1_bytes) -> BatchCostReport:
@@ -118,15 +162,8 @@ class CostModel:
         memory_cycles = dram_bytes / hw.dram_bandwidth_bytes_per_cycle
         latency = max(compute_cycles, memory_cycles) + hw.pipeline_fill_cycles
 
-        # L2 sized to double-buffer the aggregate resident tile.
-        l2_bytes = int(
-            math.ceil(hw.l2_double_sizing * pes * l1_bytes)
-        )
-
-        pe_area = hw.mac_area_um2 * pes
-        l1_area = hw.l1_area_per_byte_um2 * l1_bytes * pes
-        l2_area = hw.l2_area_per_byte_um2 * l2_bytes
-        noc_area = hw.noc_area_per_pe_um2 * pes
+        pe_area, l1_area, l2_area, noc_area, l2_bytes = area_model(
+            hw, pes, l1_bytes)
         area = pe_area + l1_area + l2_area + noc_area
 
         dynamic_pj = (

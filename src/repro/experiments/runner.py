@@ -48,6 +48,8 @@ def compare_methods(
     epochs: int,
     seed: int = 0,
     cost_model: Optional[CostModel] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, SearchResult]:
     """Run every method on ``task`` for ``epochs`` and collect results.
 
@@ -56,16 +58,32 @@ def compare_methods(
     cost-model pass per layer per epoch for LP tasks).  Any registered
     method name is accepted, including ``local-ga`` and the two-stage
     ``confuciux`` pipeline.
+
+    ``executor`` / ``workers`` optionally shard every batched evaluation
+    of the grid through one parallel backend ("thread" / "process");
+    the worker pool is shared across all methods and shut down before
+    returning.  Results are bit-identical to the serial grid.
     """
     from repro.search.session import SessionContext, run_method
 
     cost_model = cost_model or CostModel()
     constraint = task.constraint(cost_model)
+    backend = None
+    if executor is not None and executor != "serial":
+        from repro.parallel import make_backend
+
+        backend = make_backend(executor, workers)
+        cost_model.set_executor(backend)
     results: Dict[str, SearchResult] = {}
-    for name in methods:
-        info = get_method(name)
-        context = SessionContext(task=task, budget=epochs, seed=seed,
-                                 cost_model=cost_model,
-                                 constraint=constraint)
-        results[name] = run_method(info, context)
+    try:
+        for name in methods:
+            info = get_method(name)
+            context = SessionContext(task=task, budget=epochs, seed=seed,
+                                     cost_model=cost_model,
+                                     constraint=constraint)
+            results[name] = run_method(info, context)
+    finally:
+        if backend is not None:
+            cost_model.set_executor(None)
+            backend.shutdown()
     return results

@@ -70,7 +70,9 @@ class GenomeOptimizer:
     def evaluate_batch(
         self, genomes: Sequence[Sequence[int]]
     ) -> List[EvalResult]:
-        """Evaluate a candidate set as one batched estimator call.
+        """Evaluate a candidate set as one batched estimator call (the
+        call a parallel backend shards across workers when one is
+        installed on the cost model -- never changing the results).
 
         The set is truncated to the remaining budget (mirroring the scalar
         loop, which stopped evaluating mid-set when the budget ran out);

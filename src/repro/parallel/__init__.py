@@ -1,0 +1,42 @@
+"""Process-parallel population evaluation with shared-memory batches.
+
+The batched cost-model engine made ``evaluate_population`` the unit of
+work; this package shards that unit across execution backends:
+
+* :func:`~repro.parallel.backend.make_backend` builds a ``serial`` /
+  ``thread`` / ``process`` :class:`~repro.parallel.backend
+  .ExecutionBackend`; the process backend hands batches to persistent
+  workers via zero-copy shared memory (:mod:`repro.parallel.shm`).
+* :class:`~repro.parallel.coordinator.ParallelCoordinator` is the
+  session observer that owns worker lifecycle; sessions build one
+  automatically from ``SearchSpec.executor`` / ``SearchSpec.workers``.
+
+Every backend is bit-identical to the serial kernel -- the determinism
+suite in ``tests/test_parallel_parity.py`` holds that line.
+"""
+
+from repro.parallel.backend import (
+    EXECUTORS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_workers,
+    make_backend,
+    shard_bounds,
+)
+from repro.parallel.coordinator import ParallelCoordinator
+from repro.parallel.shm import BatchBlock
+
+__all__ = [
+    "EXECUTORS",
+    "BatchBlock",
+    "ExecutionBackend",
+    "ParallelCoordinator",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_workers",
+    "make_backend",
+    "shard_bounds",
+]

@@ -1,0 +1,400 @@
+"""Pluggable execution backends for batched population evaluation.
+
+A backend answers one call -- :meth:`ExecutionBackend.evaluate` -- with
+exactly the :class:`~repro.costmodel.report.BatchCostReport` the in-process
+kernel would have produced.  Because
+:func:`~repro.costmodel.batched.evaluate_batch_kernel` is elementwise over
+the batch axis, a backend may split the batch at any boundaries, evaluate
+the shards anywhere (threads, worker processes), and write the shard
+outputs back at their offsets: the gathered report is bit-identical to a
+single serial call, which is the invariant the parity suite in
+``tests/test_parallel_parity.py`` locks down.
+
+Three backends ship:
+
+* :class:`SerialBackend` -- the in-process kernel (the do-nothing
+  reference implementation every other backend must match bit for bit).
+* :class:`ThreadBackend` -- shards across a persistent thread pool; NumPy
+  releases the GIL inside its inner loops, so large batches overlap.
+* :class:`ProcessBackend` -- shards across persistent worker processes
+  with zero-copy array handoff via :mod:`repro.parallel.shm`.  Workers
+  are spawned once, reused for every batch of a session, and shut down
+  deterministically (``shutdown``, context-manager exit, or finalizer).
+
+Pick one by name with :func:`make_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.batched import LayerTable, evaluate_batch_kernel
+from repro.costmodel.constants import HardwareConfig
+from repro.costmodel.report import BatchCostReport
+from repro.parallel.shm import BatchBlock, mute_resource_tracker
+
+__all__ = [
+    "EXECUTORS",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_workers",
+    "make_backend",
+    "shard_bounds",
+]
+
+#: Names accepted by :func:`make_backend` and ``SearchSpec.executor``.
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    """Worker count when none is requested: ``$REPRO_WORKERS`` if set,
+    else every available core (capped at 8 -- the batch sizes this
+    repository produces stop scaling long before that)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        workers = int(env)
+        if workers < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {env!r}")
+        return workers
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def shard_bounds(batch: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, batch)`` into at most ``shards`` contiguous ranges.
+
+    Remainder elements go to the leading shards, so shard sizes differ by
+    at most one; empty shards are never produced.  The boundaries affect
+    only *where* elements are computed, never their values.
+    """
+    shards = max(1, min(shards, batch))
+    base, remainder = divmod(batch, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < remainder else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+class ExecutionBackend:
+    """Interface: evaluate one validated batch, own any worker state."""
+
+    name = "base"
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def evaluate(self, hw: HardwareConfig, table: LayerTable,
+                 layer_idx: np.ndarray, style_idx: np.ndarray,
+                 pes: np.ndarray, l1_bytes: np.ndarray) -> BatchCostReport:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release workers; the backend restarts lazily if reused."""
+
+    @property
+    def alive_workers(self) -> int:
+        """Live worker processes/threads (0 for in-process backends)."""
+        return 0
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process kernel; the reference the other backends must match."""
+
+    name = "serial"
+
+    def evaluate(self, hw, table, layer_idx, style_idx, pes,
+                 l1_bytes) -> BatchCostReport:
+        return evaluate_batch_kernel(hw, table, layer_idx, style_idx, pes,
+                                     l1_bytes)
+
+
+def _concat_reports(parts: Sequence[BatchCostReport]) -> BatchCostReport:
+    """Stitch in-order shard reports back into one batch report."""
+    if len(parts) == 1:
+        return parts[0]
+    return BatchCostReport(**{
+        f.name: np.concatenate([getattr(part, f.name) for part in parts])
+        for f in fields(BatchCostReport)
+    })
+
+
+class ThreadBackend(ExecutionBackend):
+    """Shard across a persistent thread pool in this process."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-batch")
+        return self._pool
+
+    def evaluate(self, hw, table, layer_idx, style_idx, pes,
+                 l1_bytes) -> BatchCostReport:
+        bounds = shard_bounds(layer_idx.size, self.workers)
+        if len(bounds) == 1:
+            return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
+                                         pes, l1_bytes)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(evaluate_batch_kernel, hw, table,
+                        layer_idx[lo:hi], style_idx[lo:hi], pes[lo:hi],
+                        l1_bytes[lo:hi])
+            for lo, hi in bounds
+        ]
+        return _concat_reports([future.result() for future in futures])
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# ----------------------------------------------------------------------
+# Process backend
+# ----------------------------------------------------------------------
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: evaluate shards of shared-memory batches until told
+    to exit.  Tables and hardware constants arrive once per search
+    (``load`` messages) and are cached by id; per-batch messages carry
+    only the segment descriptor, so the arrays themselves never cross
+    the queue."""
+    mute_resource_tracker()
+    tables: Dict[int, Tuple[HardwareConfig, LayerTable]] = {}
+    while True:
+        message = task_queue.get()
+        if message is None:
+            break
+        kind = message[0]
+        if kind == "load":
+            _, table_id, hw, layers = message
+            tables[table_id] = (hw, LayerTable.build(layers))
+            continue
+        _, task_id, segment_name, batch, lo, hi, table_id = message
+        try:
+            hw, table = tables[table_id]
+            block = BatchBlock.attach(segment_name, batch)
+            try:
+                report = evaluate_batch_kernel(
+                    hw, table,
+                    block.inputs["layer_idx"][lo:hi],
+                    block.inputs["style_idx"][lo:hi],
+                    block.inputs["pes"][lo:hi],
+                    block.inputs["l1_bytes"][lo:hi])
+                block.write_report(report, lo, hi)
+            finally:
+                block.close()
+        except BaseException as error:  # noqa: BLE001 - forwarded verbatim
+            import traceback
+
+            result_queue.put((task_id, worker_id, "error",
+                              f"{error!r}\n{traceback.format_exc()}"))
+        else:
+            result_queue.put((task_id, worker_id, "ok", None))
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard batches across persistent worker processes.
+
+    Workers are spawned lazily on the first batch (once per backend
+    lifetime), reused for every subsequent batch -- a whole session's
+    generations -- and shut down via :meth:`shutdown` / context exit; a
+    ``weakref.finalize`` guard reaps them if the owner forgets.  Each
+    batch travels through one shared-memory segment (see
+    :mod:`repro.parallel.shm`); each worker gets a dedicated task queue
+    so shard routing -- and therefore table shipping -- is deterministic.
+
+    Args:
+        workers: Worker process count.
+        start_method: ``multiprocessing`` start method; default
+            ``$REPRO_MP_START`` or ``fork`` where available (spawn works
+            too, it just pays a per-worker interpreter start).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 1,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__(workers)
+        import multiprocessing
+
+        if start_method is None:
+            start_method = os.environ.get("REPRO_MP_START")
+        if start_method is None:
+            start_method = ("fork" if "fork"
+                            in multiprocessing.get_all_start_methods()
+                            else "spawn")
+        self._context = multiprocessing.get_context(start_method)
+        self._processes: List = []
+        self._task_queues: List = []
+        self._result_queue = None
+        self._tables: Dict[int, LayerTable] = {}
+        self._shipped: List[set] = []
+        self._next_task = 0
+        self._finalizer: Optional[weakref.finalize] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for process in self._processes if process.is_alive())
+
+    def _ensure_started(self) -> None:
+        if self._processes:
+            return
+        self._result_queue = self._context.Queue()
+        self._task_queues = [self._context.Queue()
+                             for _ in range(self.workers)]
+        self._processes = []
+        for worker_id, task_queue in enumerate(self._task_queues):
+            process = self._context.Process(
+                target=_worker_main,
+                args=(worker_id, task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-worker-{worker_id}")
+            process.start()
+            self._processes.append(process)
+        self._shipped = [set() for _ in range(self.workers)]
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._processes, self._task_queues)
+
+    def _ship_table(self, worker_id: int, hw: HardwareConfig,
+                    table: LayerTable) -> int:
+        """Make ``table`` available in a worker; returns its wire id.
+
+        The backend pins every shipped table (``self._tables``) so its
+        ``id()`` cannot be recycled while workers still key on it.
+        """
+        table_id = id(table)
+        self._tables[table_id] = table
+        if table_id not in self._shipped[worker_id]:
+            self._task_queues[worker_id].put(
+                ("load", table_id, hw, table.layers))
+            self._shipped[worker_id].add(table_id)
+        return table_id
+
+    def evaluate(self, hw, table, layer_idx, style_idx, pes,
+                 l1_bytes) -> BatchCostReport:
+        self._ensure_started()
+        bounds = shard_bounds(layer_idx.size, self.workers)
+        task_id = self._next_task
+        self._next_task += 1
+        with BatchBlock.allocate(layer_idx, style_idx, pes,
+                                 l1_bytes) as block:
+            for shard, (lo, hi) in enumerate(bounds):
+                worker_id = shard % self.workers
+                table_id = self._ship_table(worker_id, hw, table)
+                self._task_queues[worker_id].put(
+                    ("eval", task_id, block.name, block.batch, lo, hi,
+                     table_id))
+            failures = []
+            for _ in bounds:
+                done_id, worker_id, status, detail = self._next_result()
+                if done_id != task_id:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"out-of-order result for task {done_id} "
+                        f"(expected {task_id})")
+                if status != "ok":
+                    failures.append((worker_id, detail))
+            if failures:
+                worker_id, detail = failures[0]
+                raise RuntimeError(
+                    f"parallel worker {worker_id} failed:\n{detail}")
+            return block.gather_report()
+
+    def _next_result(self, poll_s: float = 1.0):
+        """One shard ack, polling worker liveness so a worker killed
+        mid-batch (OOM, segfault) raises instead of hanging the search
+        forever on a result that will never arrive."""
+        import queue
+
+        while True:
+            try:
+                return self._result_queue.get(timeout=poll_s)
+            except queue.Empty:
+                dead = [process.name for process in self._processes
+                        if not process.is_alive()]
+                if dead:
+                    # The pool is unusable with a member gone; reset so
+                    # a retrying caller gets a fresh spawn.
+                    self.shutdown()
+                    raise RuntimeError(
+                        f"parallel worker(s) died mid-batch: "
+                        f"{', '.join(dead)}") from None
+
+    def shutdown(self) -> None:
+        if not self._processes:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _shutdown_workers(self._processes, self._task_queues)
+        if self._result_queue is not None:
+            self._result_queue.close()
+        self._processes = []
+        self._task_queues = []
+        self._result_queue = None
+        self._shipped = []
+        self._tables = {}
+
+
+def _shutdown_workers(processes, task_queues) -> None:
+    """Ask workers to exit, then make sure they did (module-level so a
+    ``weakref.finalize`` can run it after the backend is gone)."""
+    for task_queue in task_queues:
+        try:
+            task_queue.put(None)
+        except (OSError, ValueError):  # pragma: no cover - closed queue
+            pass
+    for process in processes:
+        process.join(timeout=5)
+    for process in processes:
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=5)
+    for task_queue in task_queues:
+        task_queue.close()
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(executor: str,
+                 workers: Optional[int] = None) -> ExecutionBackend:
+    """Build a backend by name ("serial" | "thread" | "process")."""
+    try:
+        cls = _BACKENDS[executor]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {executor!r}; available: "
+            f"{', '.join(EXECUTORS)}") from None
+    return cls(workers=default_workers() if workers is None else workers)

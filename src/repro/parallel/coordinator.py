@@ -1,0 +1,94 @@
+"""Session-level ownership of a parallel execution backend.
+
+:class:`ParallelCoordinator` is the :class:`~repro.search.callbacks
+.SearchObserver` that plugs the execution backends into the unified
+session API (the seam the ROADMAP planned for).  Its whole job is
+lifecycle:
+
+* ``on_start`` -- build the backend (workers spawn lazily on the first
+  batch) and install it on the session's cost model, so every
+  population-level consumer of the run -- GA generations, the baseline
+  optimizers, batched REINFORCE epochs -- shards through it without
+  knowing it exists.
+* ``on_teardown`` -- uninstall the backend and shut the workers down.
+  The session fires this hook on *every* exit path (budget exhausted,
+  observer early stop, method exception), which is what makes "no orphan
+  worker processes" a guarantee rather than a habit.
+
+Sessions create one automatically when ``SearchSpec.executor`` resolves
+to a parallel backend; pass your own (e.g. with ``keep_alive=True``) to
+reuse one worker pool across a whole comparison grid::
+
+    with ParallelCoordinator("process", workers=4, keep_alive=True) as pool:
+        for spec in grid:
+            SearchSession(spec, cost_model=shared).run(callbacks=[pool])
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.parallel.backend import ExecutionBackend, make_backend
+from repro.search.callbacks import SearchObserver
+
+__all__ = ["ParallelCoordinator"]
+
+
+class ParallelCoordinator(SearchObserver):
+    """Observer that owns worker lifecycle for one or many sessions.
+
+    Args:
+        executor: "serial" | "thread" | "process".
+        workers: Worker count (``None``: ``$REPRO_WORKERS`` or the core
+            count).
+        keep_alive: Keep workers running after ``on_teardown`` so the
+            next run reuses them; call :meth:`close` (or use the
+            coordinator as a context manager) when done.
+    """
+
+    def __init__(self, executor: str = "process",
+                 workers: Optional[int] = None,
+                 keep_alive: bool = False) -> None:
+        super().__init__()
+        self.executor = executor
+        self.workers = workers
+        self.keep_alive = keep_alive
+        self.backend: Optional[ExecutionBackend] = None
+        self._cost_model = None
+
+    # ------------------------------------------------------------------
+    def on_start(self, session) -> None:
+        """Install the backend on the session's shared cost model."""
+        if self.backend is None:
+            self.backend = make_backend(self.executor, self.workers)
+        self._cost_model = session.cost_model
+        self._cost_model.set_executor(self.backend)
+
+    def on_teardown(self) -> None:
+        """Uninstall from the cost model; stop workers unless kept alive.
+
+        Fired by the session on every exit path, including early stops
+        and method exceptions.
+        """
+        if self._cost_model is not None:
+            self._cost_model.set_executor(None)
+            self._cost_model = None
+        if not self.keep_alive:
+            self.close()
+
+    def close(self) -> None:
+        """Shut the workers down now (idempotent)."""
+        if self.backend is not None:
+            self.backend.shutdown()
+            self.backend = None
+
+    @property
+    def alive_workers(self) -> int:
+        """Live worker processes (0 when shut down or in-process)."""
+        return 0 if self.backend is None else self.backend.alive_workers
+
+    def __enter__(self) -> "ParallelCoordinator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

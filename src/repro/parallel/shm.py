@@ -1,0 +1,170 @@
+"""Zero-copy batch transport over ``multiprocessing.shared_memory``.
+
+One :class:`BatchBlock` holds everything a sharded population evaluation
+moves between the coordinator and its worker processes: the four decoded
+input arrays (``layer_idx``, ``style_idx``, ``pes``, ``l1_bytes``) followed
+by the eighteen output arrays of a
+:class:`~repro.costmodel.report.BatchCostReport`, laid out back to back in
+a single shared-memory segment.  Workers attach by name and build NumPy
+views directly onto the segment, so neither the inputs nor the results are
+ever pickled or copied through a pipe -- the only per-task IPC is a small
+descriptor tuple (segment name, batch size, shard bounds).
+
+Every array is eight bytes per element (``int64`` or ``float64``), which
+keeps the layout a flat table of equally sized columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.costmodel.report import BatchCostReport
+
+__all__ = [
+    "BatchBlock",
+    "INPUT_FIELDS",
+    "REPORT_FIELDS",
+    "block_size",
+    "mute_resource_tracker",
+]
+
+
+def mute_resource_tracker() -> None:
+    """Stop this process registering shared memory with the tracker.
+
+    Called once at worker startup.  Workers only ever *attach* to
+    segments the coordinator owns (and unlinks), but Python < 3.13
+    registers attachments too (bpo-39959); since forked workers share
+    the coordinator's tracker process, those duplicate registrations
+    race the owner's unregister and surface as bogus "leaked
+    shared_memory" warnings or KeyErrors at shutdown.  Workers create
+    no tracked resources of their own, so muting is safe.
+    """
+    from multiprocessing import resource_tracker
+
+    resource_tracker.register = lambda name, rtype: None
+
+#: The decoded design-point arrays shipped to workers, in layout order.
+INPUT_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("layer_idx", np.int64),
+    ("style_idx", np.int64),
+    ("pes", np.int64),
+    ("l1_bytes", np.int64),
+)
+
+#: ``BatchCostReport`` columns in declaration order with their dtypes; the
+#: integer quantities mirror the report's documented int64 fields.
+_INT_REPORT_FIELDS = frozenset(
+    ("pes_used", "l1_bytes_per_pe", "l2_bytes", "tile_k", "macs"))
+REPORT_FIELDS: Tuple[Tuple[str, type], ...] = tuple(
+    (f.name, np.int64 if f.name in _INT_REPORT_FIELDS else np.float64)
+    for f in fields(BatchCostReport)
+)
+
+_ALL_FIELDS = INPUT_FIELDS + REPORT_FIELDS
+_BYTES_PER_ELEMENT = 8
+
+
+def block_size(batch: int) -> int:
+    """Bytes needed for one batch's inputs and outputs."""
+    return len(_ALL_FIELDS) * _BYTES_PER_ELEMENT * batch
+
+
+class BatchBlock:
+    """One shared-memory segment viewed as the batch's input/output table.
+
+    Create on the coordinator side with :meth:`allocate` (which also
+    copies the input arrays in), attach on the worker side with
+    :meth:`attach`.  Both sides see the same layout through the
+    ``inputs`` / ``outputs`` dicts of NumPy views; a worker computing
+    shard ``[lo:hi)`` slices every view and writes results in place.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory, batch: int,
+                 owner: bool) -> None:
+        self._segment = segment
+        self.batch = batch
+        self._owner = owner
+        self.inputs: Dict[str, np.ndarray] = {}
+        self.outputs: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name, dtype in INPUT_FIELDS:
+            self.inputs[name] = np.ndarray(
+                (batch,), dtype=dtype, buffer=segment.buf, offset=offset)
+            offset += _BYTES_PER_ELEMENT * batch
+        for name, dtype in REPORT_FIELDS:
+            self.outputs[name] = np.ndarray(
+                (batch,), dtype=dtype, buffer=segment.buf, offset=offset)
+            offset += _BYTES_PER_ELEMENT * batch
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._segment.name
+
+    @classmethod
+    def allocate(cls, layer_idx: np.ndarray, style_idx: np.ndarray,
+                 pes: np.ndarray, l1_bytes: np.ndarray) -> "BatchBlock":
+        """Create a segment sized for the batch and copy the inputs in."""
+        batch = int(layer_idx.size)
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=block_size(batch))
+        block = cls(segment, batch, owner=True)
+        np.copyto(block.inputs["layer_idx"], layer_idx, casting="no")
+        np.copyto(block.inputs["style_idx"], style_idx, casting="no")
+        np.copyto(block.inputs["pes"], pes, casting="no")
+        np.copyto(block.inputs["l1_bytes"], l1_bytes, casting="no")
+        return block
+
+    @classmethod
+    def attach(cls, name: str, batch: int) -> "BatchBlock":
+        """Attach to a coordinator-owned segment (worker side).
+
+        Workers must call :func:`mute_resource_tracker` once first:
+        Python < 3.13 registers *attached* segments with the resource
+        tracker (bpo-39959), and with forked workers those duplicate
+        registrations race the owner's unlink, leaving phantom "leaked
+        shared_memory" entries.
+        """
+        return cls(shared_memory.SharedMemory(name=name), batch,
+                   owner=False)
+
+    # ------------------------------------------------------------------
+    def write_report(self, report: BatchCostReport, lo: int,
+                     hi: int) -> None:
+        """Store a shard's kernel output into rows ``[lo:hi)``."""
+        for name, _ in REPORT_FIELDS:
+            np.copyto(self.outputs[name][lo:hi], getattr(report, name),
+                      casting="no")
+
+    def gather_report(self) -> BatchCostReport:
+        """The full batch's results, copied out of shared memory.
+
+        The copy decouples the report's lifetime from the segment's, so
+        the coordinator can release the segment immediately while callers
+        keep the arrays as long as they like.
+        """
+        return BatchCostReport(
+            **{name: self.outputs[name].copy() for name, _ in REPORT_FIELDS})
+
+    def close(self) -> None:
+        """Drop this process's mapping (workers) and, for the owner,
+        release the segment itself."""
+        # The views alias segment.buf; drop them before closing or the
+        # exported-pointer check in SharedMemory.close() fails.
+        self.inputs.clear()
+        self.outputs.clear()
+        self._segment.close()
+        if self._owner:
+            self._segment.unlink()
+
+    def __enter__(self) -> "BatchBlock":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

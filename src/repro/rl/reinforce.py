@@ -34,6 +34,13 @@ class Reinforce(SearchAlgorithm):
         discount: Return discount; the paper found 0.9 a good default.
         entropy_coef: Exploration bonus weight.
         hidden_size: LSTM width.
+        batch_episodes: Score each epoch's sampled episode through the
+            batched estimator in one call -- the call an installed
+            parallel backend shards across workers -- instead of one
+            scalar cost-model call per layer step.  Bit-identical to the
+            scalar path (rewards, RNG stream, results) and therefore on
+            by default; envs whose termination rule needs full per-layer
+            reports (power budgets) fall back to scalar stepping.
         seed: RNG seed for reproducible searches.
     """
 
@@ -42,6 +49,7 @@ class Reinforce(SearchAlgorithm):
     def __init__(self, policy: str = "rnn", lr: float = 3e-3,
                  discount: float = 0.9, entropy_coef: float = 0.01,
                  hidden_size: int = 128, max_grad_norm: float = 5.0,
+                 batch_episodes: bool = True,
                  seed: Optional[int] = None) -> None:
         self.policy_kind = policy
         self.lr = lr
@@ -49,6 +57,7 @@ class Reinforce(SearchAlgorithm):
         self.entropy_coef = entropy_coef
         self.hidden_size = hidden_size
         self.max_grad_norm = max_grad_norm
+        self.batch_episodes = batch_episodes
         self.rng = np.random.default_rng(seed)
         self.policy = None
         self.optimizer = None
@@ -59,6 +68,24 @@ class Reinforce(SearchAlgorithm):
             self.policy_kind, env.observation_dim, env.space.head_sizes,
             rng=self.rng, hidden_size=self.hidden_size)
         self.optimizer = Adam(self.policy.parameters(), lr=self.lr)
+
+    def _sample_step(self, observation, state):
+        """Sample one action tuple from the policy.
+
+        The single sampling implementation for both episode drivers: the
+        planned path's bit-identical-RNG guarantee rests on the scalar
+        and deferred loops consuming randomness through exactly this
+        code.  Returns (action, summed log-prob, summed entropy, state).
+        """
+        obs_tensor = Tensor(observation.reshape(1, -1))
+        dists, state = self.policy(obs_tensor, state)
+        action = [int(d.sample(self.rng)[0]) for d in dists]
+        step_logp = dists[0].log_prob([action[0]])
+        step_entropy = dists[0].entropy()
+        for head, dist in enumerate(dists[1:], start=1):
+            step_logp = step_logp + dist.log_prob([action[head]])
+            step_entropy = step_entropy + dist.entropy()
+        return action, step_logp, step_entropy, state
 
     def run_episode(self, env: HWAssignmentEnv):
         """Roll out one episode keeping the autograd graph alive.
@@ -73,19 +100,38 @@ class Reinforce(SearchAlgorithm):
         episode = None
         done = False
         while not done:
-            obs_tensor = Tensor(observation.reshape(1, -1))
-            dists, state = self.policy(obs_tensor, state)
-            action = [int(d.sample(self.rng)[0]) for d in dists]
-            step_logp = dists[0].log_prob([action[0]])
-            step_entropy = dists[0].entropy()
-            for head, dist in enumerate(dists[1:], start=1):
-                step_logp = step_logp + dist.log_prob([action[head]])
-                step_entropy = step_entropy + dist.entropy()
+            action, step_logp, step_entropy, state = self._sample_step(
+                observation, state)
             observation, reward, done, info = env.step(action)
             log_probs.append(step_logp)
             entropies.append(step_entropy)
             rewards.append(reward)
             episode = info["episode"]
+        return log_probs, entropies, rewards, episode
+
+    def run_episode_planned(self, env: HWAssignmentEnv):
+        """Roll out one episode with deferred batched scoring.
+
+        Sampling is step-by-step (the LSTM is sequential and termination
+        must be exact -- see ``HWAssignmentEnv.plan_supported``), but no
+        cost-model call happens until ``commit``, which scores the whole
+        epoch as one batched -- and, with a parallel backend installed,
+        sharded -- evaluation.  Observations, sampled actions, rewards,
+        and the RNG stream are bit-identical to :meth:`run_episode`.
+        """
+        observation = env.reset()
+        plan = env.begin_plan()
+        state = self.policy.initial_state()
+        log_probs: List[Tensor] = []
+        entropies: List[Tensor] = []
+        done = False
+        while not done:
+            action, step_logp, step_entropy, state = self._sample_step(
+                observation, state)
+            observation, done = plan.step(action)
+            log_probs.append(step_logp)
+            entropies.append(step_entropy)
+        rewards, episode = plan.commit()
         return log_probs, entropies, rewards, episode
 
     def update(self, log_probs: List[Tensor], entropies: List[Tensor],
@@ -111,8 +157,11 @@ class Reinforce(SearchAlgorithm):
         result, started = self._start(self.name)
         if self.policy is None:
             self._build(env)
+        planned = self.batch_episodes and env.plan_supported()
+        episode_fn = (self.run_episode_planned if planned
+                      else self.run_episode)
         for _ in range(epochs):
-            log_probs, entropies, rewards, _ = self.run_episode(env)
+            log_probs, entropies, rewards, _ = episode_fn(env)
             self.update(log_probs, entropies, rewards)
             result.record(env.best.cost if env.best else None)
         self._finalize(result, env, started)

@@ -8,6 +8,7 @@ observers::
     on_improvement(step, best_cost, best_assignments)
                                           whenever the feasible best improves
     on_finish(result)                     once, with the SessionResult
+    on_teardown()                         once, on *every* exit path
 
 ``on_step`` fires per *episode* for episodic-RL methods and per
 *design-point evaluation* for genome-space methods; for two-stage methods
@@ -16,9 +17,10 @@ it covers the observable global stage.  Returning ``True`` from
 session to stop gracefully at the next step boundary: the best-so-far
 solution is kept and the result is flagged ``stopped_early``.
 
-This is the seam the ROADMAP's process-parallel follow-on plugs into: a
-shard coordinator is just an observer that streams ``on_improvement``
-events out of worker sessions.
+This is the seam the process-parallel engine plugs into:
+:class:`repro.parallel.ParallelCoordinator` is an observer that installs
+an execution backend on the session's cost model in ``on_start`` and
+shuts its workers down in ``on_teardown``.
 """
 
 from __future__ import annotations
@@ -72,6 +74,12 @@ class SearchObserver:
     def on_finish(self, result) -> None:
         """Called once with the finished
         :class:`~repro.search.session.SessionResult`."""
+
+    def on_teardown(self) -> None:
+        """Called once when the run ends -- *including* early stops and
+        method exceptions (the session fires it from a ``finally``).
+        Observers owning external resources (worker pools, files)
+        release them here; ``on_finish`` only runs on success."""
 
 
 class ProgressReporter(SearchObserver):

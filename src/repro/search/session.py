@@ -127,6 +127,35 @@ class _ObservedEnv:
                 genome=episode.genome, defer_stop=True)
         return out
 
+    def begin_plan(self):
+        """Planned (deferred-scoring) episodes stay observable: the
+        wrapped plan fires the same one-record-per-episode protocol at
+        commit that :meth:`step` fires on the episode-ending step."""
+        return _ObservedPlan(self._env.begin_plan(), self._tracker)
+
+
+class _ObservedPlan:
+    """Forwarding proxy around :class:`~repro.env.environment.EpisodePlan`
+    recording the committed episode with the tracker."""
+
+    def __init__(self, plan, tracker: _Tracker) -> None:
+        self._plan = plan
+        self._tracker = tracker
+
+    def __getattr__(self, name):
+        return getattr(self._plan, name)
+
+    def step(self, action):
+        return self._plan.step(action)
+
+    def commit(self):
+        rewards, episode = self._plan.commit()
+        self._tracker.record(
+            episode.cost, episode.feasible,
+            assignments_fn=lambda: episode.assignments,
+            genome=episode.genome, defer_stop=True)
+        return rewards, episode
+
 
 class _ObservedEvaluator:
     """Forwarding proxy firing one observer step per design-point
@@ -506,19 +535,46 @@ class SearchSession:
     def run(self, callbacks: Sequence[SearchObserver] = ()) -> SessionResult:
         """Run the method to its budget (or an observer stop) and return
         the wrapped result.  Sessions are reusable: each ``run`` builds a
-        fresh method/environment from the spec."""
-        import repro
+        fresh method/environment from the spec.
 
+        When the spec resolves to a parallel executor and no
+        :class:`~repro.parallel.ParallelCoordinator` was passed, the
+        session creates one for the run: workers spawn on the first
+        batch, are reused across generations, and are shut down on every
+        exit path (``on_teardown`` fires from a ``finally``).  Observer
+        hooks are only attached for caller-passed callbacks, so a bare
+        ``run()`` still drives exactly the legacy objects -- parallel or
+        not, results are bit-identical.
+        """
+        import repro
+        from repro.parallel import ParallelCoordinator
+
+        observers = list(callbacks)
+        executor = self.spec.resolved_executor()
+        if (executor != "serial"
+                and self.cost_model.executor is None
+                and not any(isinstance(observer, ParallelCoordinator)
+                            for observer in observers)):
+            # Session-owned coordinator: lifecycle only, not tracking --
+            # the tracker keeps observing just the user's callbacks.  A
+            # backend already installed on the cost model (directly or
+            # by a passed coordinator) is the caller's to manage.
+            observers.append(ParallelCoordinator(
+                executor=executor, workers=self.spec.resolved_workers()))
         tracker = _Tracker(callbacks)
         context = SessionContext(
             task=self.spec.task(), budget=self.spec.budget,
             seed=self.spec.seed, finetune=self.spec.finetune,
             cost_model=self.cost_model, tracker=tracker)
-        for observer in callbacks:
+        for observer in observers:
             observer._begin_run()
             observer.on_start(self)
         started_at = time.strftime("%Y-%m-%dT%H:%M:%S")
-        search_result = run_method(self.info, context)
+        try:
+            search_result = run_method(self.info, context)
+        finally:
+            for observer in observers:
+                observer.on_teardown()
         outcome = SessionResult(
             spec=self.spec,
             result=search_result,
@@ -526,12 +582,13 @@ class SearchSession:
             provenance={
                 "repro_version": repro.__version__,
                 "method_kind": self.info.kind,
+                "executor": executor,
                 "started_at": started_at,
                 "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             },
             detail=context.detail,
         )
-        for observer in callbacks:
+        for observer in observers:
             observer.on_finish(outcome)
         self.result = outcome
         return outcome

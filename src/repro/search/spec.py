@@ -10,6 +10,7 @@ equal specs produce bit-identical results.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Optional
 
@@ -22,6 +23,15 @@ DATAFLOWS = ("dla", "eye", "shi")
 CONSTRAINT_KINDS = ("area", "power", "resource")
 PLATFORMS = ("unlimited", "cloud", "iot", "iotx")
 DEPLOYMENTS = ("lp", "ls")
+
+
+def _executors():
+    """The canonical backend names, owned by :mod:`repro.parallel`
+    (imported lazily: validation is cold-path and this keeps the spec
+    module import-light and cycle-free)."""
+    from repro.parallel.backend import EXECUTORS
+
+    return EXECUTORS
 
 
 @dataclass(frozen=True)
@@ -54,6 +64,14 @@ class SearchSpec:
         layer_slice: Restrict to the first N layers (None = full model).
         finetune: Stage-2 budget for two-stage methods; ``None`` means
             ``budget // 4``.  Ignored by single-stage methods.
+        executor: Execution backend for population-level evaluation --
+            "serial" | "thread" | "process" -- or ``None`` to defer to
+            ``$REPRO_EXECUTOR`` (default "serial").  Results are
+            bit-identical across backends; only wall-clock changes.
+        workers: Worker count for parallel executors; ``None`` defers to
+            ``$REPRO_WORKERS``, else the available cores capped at 8
+            (see :func:`repro.parallel.default_workers`).  Never affects
+            results, only sharding.
     """
 
     model: str
@@ -72,6 +90,8 @@ class SearchSpec:
     max_total_l1: int = 8192
     layer_slice: Optional[int] = None
     finetune: Optional[int] = None
+    executor: Optional[str] = None
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str):
@@ -96,6 +116,35 @@ class SearchSpec:
             raise ValueError("finetune must be >= 0 (0 skips stage 2)")
         if self.num_levels < 2:
             raise ValueError("num_levels must be >= 2")
+        if self.executor is not None and self.executor not in _executors():
+            raise ValueError(
+                f"executor must be one of {_executors()} (or None), "
+                f"got {self.executor!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
+
+    # ------------------------------------------------------------------
+    def resolved_executor(self) -> str:
+        """The effective backend: the spec's, else ``$REPRO_EXECUTOR``,
+        else "serial".  Backends never change results (the parity suite
+        holds them bit-identical), so the env-var override is a safe
+        deploy-time knob."""
+        executor = self.executor
+        if executor is None:
+            executor = os.environ.get("REPRO_EXECUTOR", "serial")
+        if executor not in _executors():
+            raise ValueError(
+                f"REPRO_EXECUTOR must be one of {_executors()}, "
+                f"got {executor!r}")
+        return executor
+
+    def resolved_workers(self) -> int:
+        """The effective worker count (spec, ``$REPRO_WORKERS``, cores)."""
+        if self.workers is not None:
+            return self.workers
+        from repro.parallel.backend import default_workers
+
+        return default_workers()
 
     # ------------------------------------------------------------------
     @property

@@ -102,6 +102,48 @@ class TestConfiguration:
         assert result.best_cost is not None
 
 
+class TestRunDeprecationShim:
+    """``ConfuciuX.run`` is a warning shim over ``repro.explore``; pin
+    both halves of that contract so the shim can eventually be removed
+    with confidence: it must *warn*, and it must stay bit-identical to
+    the session path it forwards to."""
+
+    def test_run_emits_deprecation_warning(self, cost_model,
+                                           mobilenet_slice):
+        pipeline = ConfuciuX(mobilenet_slice, seed=0, cost_model=cost_model)
+        with pytest.warns(DeprecationWarning,
+                          match=r"ConfuciuX\.run\(\) is deprecated"):
+            pipeline.run(global_epochs=2, finetune_generations=0)
+
+    def test_run_matches_explore_bit_for_bit(self, cost_model):
+        import repro
+
+        epochs, finetune, seed, layers = 10, 4, 21, 4
+        pipeline = ConfuciuX(
+            repro.get_model("mobilenet_v2")[:layers], seed=seed,
+            platform="iot", cost_model=cost_model)
+        with pytest.warns(DeprecationWarning):
+            legacy = pipeline.run(global_epochs=epochs,
+                                  finetune_generations=finetune)
+        modern = repro.explore(model="mobilenet_v2", method="confuciux",
+                               budget=epochs, finetune=finetune, seed=seed,
+                               platform="iot", layer_slice=layers,
+                               cost_model=cost_model)
+        assert modern.best_cost == legacy.best_cost
+        assert modern.best_assignments == legacy.best_assignments
+        assert modern.result.history == legacy.trace
+        assert modern.detail.global_cost == legacy.global_cost
+        assert modern.detail.initial_valid_cost == legacy.initial_valid_cost
+
+    def test_internal_run_does_not_warn(self, cost_model, mobilenet_slice):
+        import warnings
+
+        pipeline = ConfuciuX(mobilenet_slice, seed=0, cost_model=cost_model)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pipeline._run(global_epochs=2, finetune_generations=0)
+
+
 class TestJointSearch:
     @pytest.fixture(scope="class")
     def mix_result(self, cost_model, mobilenet_slice):

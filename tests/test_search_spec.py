@@ -72,6 +72,42 @@ class TestDerived:
         assert len(task.layers()) == 5
 
 
+class TestExecutorFields:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            SearchSpec(model="ncf", executor="gpu")
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            SearchSpec(model="ncf", workers=0)
+
+    def test_resolution_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        spec = SearchSpec(model="ncf")
+        assert spec.resolved_executor() == "serial"
+        assert SearchSpec(model="ncf", executor="thread") \
+            .resolved_executor() == "thread"
+
+    def test_env_var_fills_unset_fields_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        spec = SearchSpec(model="ncf")
+        assert spec.resolved_executor() == "process"
+        assert spec.resolved_workers() == 3
+        pinned = SearchSpec(model="ncf", executor="serial", workers=2)
+        assert pinned.resolved_executor() == "serial"
+        assert pinned.resolved_workers() == 2
+
+    def test_bad_env_var_fails_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "quantum")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            SearchSpec(model="ncf").resolved_executor()
+
+    def test_executor_round_trips_through_json(self):
+        spec = SearchSpec(model="ncf", executor="process", workers=4)
+        assert SearchSpec.from_json(spec.to_json()) == spec
+
+
 class TestSerialization:
     def test_round_trip_dict(self):
         spec = SearchSpec(model="resnet50", method="sa", budget=42,
