@@ -10,11 +10,11 @@ measuring final quality and how many offspring stayed feasible.
 
 from __future__ import annotations
 
-from repro import ConfuciuX
 from repro.core.evaluator import DesignPointEvaluator
 from repro.core.reporting import format_table
 from repro.experiments import TaskSpec, default_epochs
 from repro.ga import LocalGA
+from repro.search import SearchSession, SearchSpec
 
 LAYER_SLICE = 12
 SEEDS = (0, 1, 2)
@@ -28,12 +28,13 @@ def test_ablation_local_ga(benchmark, cost_model, save_report):
     constraint = task.constraint(cost_model)
 
     def run():
-        # One shared stage-1 solution seeds every variant.
-        pipeline = ConfuciuX(task.layers(), objective="latency",
-                             constraint=constraint, dataflow="dla", seed=0,
-                             cost_model=cost_model)
-        stage1 = pipeline.run(global_epochs=epochs,
-                              finetune_generations=0)
+        # One shared stage-1 solution seeds every variant (the session
+        # detail carries the full two-stage ConfuciuXResult).
+        spec = SearchSpec(model="mobilenet_v2", method="confuciux",
+                          objective="latency", dataflow="dla",
+                          platform="iot", seed=0, budget=epochs,
+                          finetune=0, layer_slice=LAYER_SLICE)
+        stage1 = SearchSession(spec, cost_model=cost_model).run().detail
         assert stage1.best_cost is not None
         seed_assignments = stage1.global_result.best_assignments
 

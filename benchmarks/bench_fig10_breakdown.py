@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ConfuciuX
 from repro.core.reporting import (
     area_breakdown_fractions,
     ascii_bars,
@@ -21,6 +20,7 @@ from repro.core.reporting import (
 from repro.experiments import default_epochs
 from repro.models import get_model
 from repro.models.layers import LayerType
+from repro.search import SearchSession, SearchSpec
 
 LAYER_SLICE = 20
 
@@ -32,12 +32,13 @@ def test_fig10_breakdown(benchmark, cost_model, save_report):
         out = {}
         for model in ("mobilenet_v2", "resnet50"):
             layers = get_model(model)[:LAYER_SLICE]
-            pipeline = ConfuciuX(layers, objective="latency",
-                                 dataflow="dla", constraint_kind="area",
-                                 platform="iot", seed=0,
-                                 cost_model=cost_model)
-            result = pipeline.run(global_epochs=epochs,
-                                  finetune_generations=epochs // 4)
+            spec = SearchSpec(model=model, method="confuciux",
+                              objective="latency", dataflow="dla",
+                              constraint_kind="area", platform="iot",
+                              seed=0, budget=epochs,
+                              finetune=epochs // 4,
+                              layer_slice=LAYER_SLICE)
+            result = SearchSession(spec, cost_model=cost_model).run()
             out[model] = (layers, result)
         return out
 

@@ -9,7 +9,17 @@ Writes ``BENCH_parallel.json`` at the repo root::
     {"serial_s": ..., "cpu_count": ...,
      "thread": {"1": ..., "2": ..., "4": ...},
      "process": {"1": ..., "2": ..., "4": ...},
-     "speedup_process_4": ...}
+     "speedup_process_4": ...,
+     "break_even": {"sizes": {batch: {"serial_s": ..., "process_s": ...}},
+                    "batch": ..., "per_worker": ...,
+                    "default_min_batch_per_worker": ...}}
+
+The ``break_even`` section measures the adaptive-dispatch crossover:
+the smallest batch for which sharding across 2 worker processes beats
+the in-process kernel.  ``SearchSpec.dispatch_min_batch`` /
+``$REPRO_DISPATCH_MIN`` default to the built-in
+``DEFAULT_DISPATCH_MIN_BATCH``; these numbers are how that constant is
+re-measured when the kernel or the IPC path changes.
 
 Process sharding only buys wall-clock when there are cores to shard
 onto: the acceptance bar (>= 2x at 4 workers) is asserted when the
@@ -44,6 +54,10 @@ NUM_LAYERS = 20
 POPULATION = 4096
 WORKER_COUNTS = (1, 2, 4)
 REPEATS = 3
+#: Populations timed for the adaptive-dispatch break-even (elements =
+#: population x NUM_LAYERS).
+BREAK_EVEN_POPULATIONS = (4, 16, 64, 256, 1024)
+BREAK_EVEN_WORKERS = 2
 
 
 def _population(space, num_layers, size, seed):
@@ -94,6 +108,27 @@ def test_parallel_scaling(save_report):
                 assert want.cost == got.cost
                 assert want.feasible == got.feasible
 
+    # ---- adaptive-dispatch break-even: small-batch crossover ----------
+    break_even_sizes = {}
+    break_even_batch = None
+    with make_backend("process", BREAK_EVEN_WORKERS) as backend:
+        evaluator = make_evaluator(backend)
+        evaluator.evaluate_population(genomes[:32])  # warm the pool
+        serial_evaluator = make_evaluator()
+        for population in BREAK_EVEN_POPULATIONS:
+            subset = genomes[:population]
+            small_serial_s, _ = _time_population(serial_evaluator, subset)
+            process_s, _ = _time_population(evaluator, subset)
+            batch_elements = population * NUM_LAYERS
+            break_even_sizes[str(batch_elements)] = {
+                "serial_s": small_serial_s,
+                "process_s": process_s,
+            }
+            if break_even_batch is None and process_s <= small_serial_s:
+                break_even_batch = batch_elements
+
+    from repro.parallel import DEFAULT_DISPATCH_MIN_BATCH
+
     cpu_count = os.cpu_count() or 1
     speedup_process_4 = serial_s / timings["process"]["4"]
     rows = [["serial", "-", f"{serial_s * 1e3:.2f} ms", "1.00x"]]
@@ -102,10 +137,23 @@ def test_parallel_scaling(save_report):
             seconds = timings[executor][str(workers)]
             rows.append([executor, str(workers), f"{seconds * 1e3:.2f} ms",
                          f"{serial_s / seconds:.2f}x"])
+    break_even_rows = [
+        [batch, f"{record['serial_s'] * 1e3:.3f} ms",
+         f"{record['process_s'] * 1e3:.3f} ms",
+         "process" if record["process_s"] <= record["serial_s"]
+         else "in-process"]
+        for batch, record in break_even_sizes.items()
+    ]
     save_report("bench_parallel_scaling", format_table(
         ["backend", "workers", "batch time", "speedup"], rows,
         title=f"population {POPULATION} x {NUM_LAYERS} layers on "
-              f"{cpu_count} CPU(s), bit-identical across backends"))
+              f"{cpu_count} CPU(s), bit-identical across backends")
+        + "\n\n" + format_table(
+        ["batch elements", "in-process", f"process x"
+         f"{BREAK_EVEN_WORKERS}", "winner"], break_even_rows,
+        title=f"adaptive-dispatch break-even (measured crossover: "
+              f"{break_even_batch}, shipped default: "
+              f"{DEFAULT_DISPATCH_MIN_BATCH}/worker)"))
 
     payload = {
         "serial_s": serial_s,
@@ -114,6 +162,13 @@ def test_parallel_scaling(save_report):
         "num_layers": NUM_LAYERS,
         **timings,
         "speedup_process_4": speedup_process_4,
+        "break_even": {
+            "sizes": break_even_sizes,
+            "batch": break_even_batch,
+            "per_worker": (None if break_even_batch is None
+                           else break_even_batch // BREAK_EVEN_WORKERS),
+            "default_min_batch_per_worker": DEFAULT_DISPATCH_MIN_BATCH,
+        },
     }
     (REPO_ROOT / "BENCH_parallel.json").write_text(
         json.dumps(payload, indent=2) + "\n")

@@ -7,11 +7,11 @@ against ConfuciuX-dla and ConfuciuX-MIX after both stages.
 
 from __future__ import annotations
 
-from repro import ConfuciuX
 from repro.core.constraints import ResourceConstraint
 from repro.core.reporting import format_table
 from repro.experiments import default_epochs
 from repro.models import get_model
+from repro.search import SearchSession, SearchSpec
 
 LAYER_SLICE = 12
 
@@ -51,12 +51,17 @@ def uniform_baseline(cost_model, layers, constraint):
     return (report.latency_cycles, pes, l1_bytes)
 
 
-def run_confuciux(cost_model, layers, constraint, epochs, mix):
-    pipeline = ConfuciuX(layers, objective="latency", constraint=constraint,
-                         dataflow=None if mix else "dla", mix=mix, seed=0,
-                         cost_model=cost_model)
-    return pipeline.run(global_epochs=epochs,
-                        finetune_generations=epochs // 4)
+def run_confuciux(cost_model, model, constraint, epochs, mix):
+    """Two stages through the session API; the session detail is the
+    classic ConfuciuXResult the table reads its stage costs from."""
+    spec = SearchSpec(model=model, method="confuciux",
+                      objective="latency", dataflow="dla", mix=mix,
+                      constraint_kind="resource",
+                      max_total_pes=constraint.max_pes,
+                      max_total_l1=constraint.max_l1_bytes,
+                      seed=0, budget=epochs, finetune=epochs // 4,
+                      layer_slice=LAYER_SLICE)
+    return SearchSession(spec, cost_model=cost_model).run().detail
 
 
 def test_table08_fpga(benchmark, cost_model, save_report):
@@ -69,9 +74,9 @@ def test_table08_fpga(benchmark, cost_model, save_report):
             for model in MODELS:
                 layers = get_model(model)[:LAYER_SLICE]
                 baseline = uniform_baseline(cost_model, layers, constraint)
-                dla = run_confuciux(cost_model, layers, constraint, epochs,
+                dla = run_confuciux(cost_model, model, constraint, epochs,
                                     mix=False)
-                mix = run_confuciux(cost_model, layers, constraint, epochs,
+                mix = run_confuciux(cost_model, model, constraint, epochs,
                                     mix=True)
                 table.append([
                     f"{platform} {model}",

@@ -1,0 +1,101 @@
+"""Multi-objective search: the latency/energy Pareto surface of one chip.
+
+The paper's Cloud/IoT/IoTx grid optimizes one scalar objective per run;
+real deployment decisions trade latency, energy, and area at once.  This
+example runs the NSGA-II ``pareto-ga`` method on a latency/energy
+trade-off under an IoT area budget, prints the non-dominated front as an
+ASCII scatter, and contrasts it with two scalar anchor runs (pure
+latency, pure energy) plus a weighted blend -- all through the same
+objective subsystem::
+
+    python examples/pareto_tradeoff.py [--budget N] [--layers N]
+
+Try a three-axis front with ``--objective multi:latency,energy,area`` or
+a soft-area variant via a spec dict in :func:`repro.explore`.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.core.reporting import format_table
+
+
+def ascii_scatter(points, width: int = 56, height: int = 14) -> str:
+    """A crude (latency, energy) scatter: '*' = non-dominated point."""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = 0 if x_hi == x_lo else round(
+            (x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = 0 if y_hi == y_lo else round(
+            (y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" latency {x_lo:.2E} .. {x_hi:.2E}  (energy "
+                 f"{y_lo:.2E} .. {y_hi:.2E}, up = more)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=600,
+                        help="design-point evaluations for each search")
+    parser.add_argument("--layers", type=int, default=8,
+                        help="restrict to the first N layers (0 = all)")
+    parser.add_argument("--objective", default="multi:latency,energy",
+                        help="multi: spec for the trade-off axes")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    common = dict(model="mobilenet_v2", constraint_kind="area",
+                  platform="iot", budget=args.budget, seed=args.seed,
+                  layer_slice=args.layers or None)
+
+    print(f"Pareto search: {args.objective} under an IoT area budget")
+    result = repro.explore(method="pareto-ga", objective=args.objective,
+                           **common)
+    front = result.pareto_front
+    if not front:
+        print("No feasible design point found; increase --budget.")
+        return
+    names = result.result.extra["objective_names"]
+
+    print()
+    print(result.summary())
+    rows = [[i + 1] + [f"{point['objectives'][name]:.3E}"
+                       for name in names]
+            + [" ".join(f"{a[0]}/{a[1]}"
+                        for a in point["assignments"][:4]) + " ..."]
+            for i, point in enumerate(front)]
+    print(format_table(
+        ["#"] + names + ["PEs/L1 (first layers)"], rows,
+        title=f"Non-dominated front ({len(front)} points)"))
+
+    if len(names) == 2 and len(front) > 1:
+        print()
+        print(ascii_scatter([
+            (point["objectives"][names[0]], point["objectives"][names[1]])
+            for point in front]))
+
+    # Scalar anchors: the front's extremes should bracket what dedicated
+    # single-objective runs find, and a weighted blend lands in between.
+    print()
+    anchors = []
+    for objective in (names[0], names[1] if len(names) > 1 else names[0],
+                      f"weighted:{names[0]}=0.5,{names[-1]}=0.5"):
+        anchor = repro.explore(method="ga", objective=objective, **common)
+        anchors.append([repro.objectives.objective_label(objective),
+                        anchor.result.format_cost()])
+    print(format_table(["scalar anchor run", "best cost"], anchors,
+                       title="Scalar runs through the same objective "
+                             "subsystem"))
+
+
+if __name__ == "__main__":
+    main()

@@ -22,11 +22,14 @@ Public API tour -- the unified session layer::
     for info in repro.list_methods():
         print(info.name, info.kind)
 
-The legacy two-stage entry point (``ConfuciuX(...).run(...)``) keeps
-working but is deprecated in favor of the session API above.
+The legacy two-stage entry point (``ConfuciuX(...).run(...)``) was
+removed in 1.3 after a deprecation cycle; calling it raises guidance
+pointing at the session API above (which is bit-identical).
 
 Subpackages:
     search      -- the unified session API (spec, registry, sessions).
+    objectives  -- pluggable objectives (weighted/penalty/multi specs)
+                   and the Pareto (non-dominated) utilities.
     parallel    -- serial/thread/process execution backends with
                    shared-memory batch handoff (bit-identical results).
     models      -- DNN workload zoo (layer shapes).
@@ -41,6 +44,16 @@ Subpackages:
     experiments -- harness shared by the benchmark suite.
 """
 
+from repro.objectives import (
+    MultiObjective,
+    Objective,
+    PenaltyObjective,
+    WeightedObjective,
+    list_objectives,
+    objective_label,
+    register_objective,
+    resolve_objective,
+)
 from repro.models import Layer, LayerType, get_model, list_models
 from repro.costmodel import CostModel, HardwareConfig
 from repro.env import ActionSpace, HWAssignmentEnv
@@ -70,7 +83,7 @@ from repro.search import (
 )
 from repro.parallel import ParallelCoordinator, make_backend
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Layer",
@@ -105,6 +118,15 @@ __all__ = [
     "ProgressReporter",
     "EarlyStopping",
     "CheckpointHook",
+    # Objectives and Pareto search.
+    "Objective",
+    "MultiObjective",
+    "WeightedObjective",
+    "PenaltyObjective",
+    "register_objective",
+    "resolve_objective",
+    "list_objectives",
+    "objective_label",
     # Parallel execution.
     "ParallelCoordinator",
     "make_backend",

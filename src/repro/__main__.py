@@ -16,6 +16,9 @@ Examples::
     python -m repro search --model mobilenet_v2 --method confuciux \
         --platform iot --objective latency --budget 300
     python -m repro search --model mnasnet --method sa --budget 500
+    python -m repro search --model mobilenet_v2 --pareto --budget 2000
+    python -m repro search --method ga \
+        --objective weighted:latency=0.5,energy=0.5
     python -m repro compare --model mobilenet_v2 \
         --methods random,ga,ppo2,reinforce --budget 150
 """
@@ -95,30 +98,72 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _objective_from_args(args: argparse.Namespace) -> str:
+    """The effective objective spec string.
+
+    ``--pareto`` turns a bare comma list (``latency,energy``) into a
+    ``multi:`` spec and defaults to the latency/energy trade-off when no
+    objective was given; otherwise the string is passed through to the
+    objectives registry (names, ``weighted:...``, ``multi:...``).
+    """
+    objective = args.objective
+    if getattr(args, "pareto", False):
+        objective = objective or "latency,energy"
+        if "," in objective and ":" not in objective:
+            objective = "multi:" + objective
+    return objective or "latency"
+
+
 def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
-    return SearchSpec(
-        model=args.model,
-        method=method,
-        objective=args.objective,
-        dataflow=args.dataflow,
-        constraint_kind=args.constraint,
-        platform=args.platform,
-        budget=args.budget,
-        seed=args.seed,
-        mix=args.mix,
-        layer_slice=args.layers or None,
-        finetune=args.finetune,
-        executor=args.executor,
-        workers=args.workers,
-    )
+    try:
+        return SearchSpec(
+            model=args.model,
+            method=method,
+            objective=_objective_from_args(args),
+            dataflow=args.dataflow,
+            constraint_kind=args.constraint,
+            platform=args.platform,
+            budget=args.budget,
+            seed=args.seed,
+            mix=args.mix,
+            layer_slice=args.layers or None,
+            finetune=args.finetune,
+            executor=args.executor,
+            workers=args.workers,
+            dispatch_min_batch=args.dispatch_min_batch,
+        )
+    except ValueError as error:
+        # Free-form spec fields (--objective most of all) are validated
+        # by SearchSpec, not argparse; keep the CLI's clean-exit
+        # contract rather than surfacing a traceback.
+        raise SystemExit(f"repro: error: {error}") from None
+
+
+def _print_pareto_front(result) -> None:
+    """The non-dominated front of a multi-objective search."""
+    front = result.pareto_front
+    names = result.result.extra.get(
+        "objective_names",
+        sorted(front[0]["objectives"]) if front else [])
+    rows = []
+    for index, point in enumerate(front, start=1):
+        rows.append([index] + [f"{point['objectives'][name]:.3E}"
+                               for name in names])
+    print()
+    print(format_table(
+        ["#"] + names, rows,
+        title=f"Pareto front ({len(front)} non-dominated points)"))
 
 
 def _print_two_stage(result, args) -> None:
     """The classic ConfuciuX stage table (from the session detail)."""
+    from repro.objectives import objective_cost_label
+
     detail = result.detail
     impr1, impr2 = detail.improvement_fractions()
     print(format_table(
-        ["stage", args.objective, "improvement"],
+        ["stage", objective_cost_label(_objective_from_args(args)),
+         "improvement"],
         [
             ["first valid", f"{detail.initial_valid_cost:.3E}", "-"],
             ["global search", f"{detail.global_cost:.3E}",
@@ -133,7 +178,11 @@ def _print_two_stage(result, args) -> None:
 
 
 def cmd_search(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args, args.method)
+    # --pareto selects the NSGA-II searcher only when no explicit
+    # --method was given (the --method default is None, so an explicit
+    # "--method confuciux" is distinguishable and wins).
+    method = args.method or ("pareto-ga" if args.pareto else "confuciux")
+    spec = _spec_from_args(args, method)
     session = SearchSession(spec)
     callbacks = [ProgressReporter(every=args.progress)] \
         if args.progress else []
@@ -144,15 +193,20 @@ def cmd_search(args: argparse.Namespace) -> int:
     if result.detail is not None:
         _print_two_stage(result, args)
     else:
+        from repro.objectives import objective_cost_label
+
         print(format_table(
             ["metric", "value"],
             [
                 ["method", spec.method],
-                [f"best {args.objective}", f"{result.best_cost:.3E}"],
+                [f"best {objective_cost_label(spec.objective)}",
+                 f"{result.best_cost:.3E}"],
                 ["evaluations", result.result.evaluations],
                 ["wall time", f"{result.result.wall_time_s:.2f}s"],
             ],
             title=result.summary()))
+    if result.pareto_front is not None:
+        _print_pareto_front(result)
     layers = spec.task().layers()
     rows = []
     for i, (layer, assignment) in enumerate(zip(layers,
@@ -178,10 +232,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     first = _spec_from_args(args, methods[0]) if methods else None
     if first is not None and first.resolved_executor() != "serial":
         # One keep-alive coordinator: the worker pool spawns once and
-        # serves every method of the grid.
-        callbacks = [ParallelCoordinator(first.resolved_executor(),
-                                         first.resolved_workers(),
-                                         keep_alive=True)]
+        # serves every method of the grid, with the spec-resolved
+        # adaptive-dispatch threshold (--dispatch-min-batch /
+        # $REPRO_DISPATCH_MIN / the measured default).
+        callbacks = [ParallelCoordinator(
+            first.resolved_executor(), first.resolved_workers(),
+            keep_alive=True,
+            min_batch_per_worker=first.resolved_dispatch_min_batch())]
     try:
         for method in methods:
             spec = _spec_from_args(args, method)
@@ -196,10 +253,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     finally:
         for callback in callbacks:
             callback.close()
+    from repro.objectives import objective_cost_label, objective_label
+
+    spec_string = _objective_from_args(args)
     print(format_table(
-        ["method", f"best {args.objective}", "evaluations", "wall time"],
+        ["method", f"best {objective_cost_label(spec_string)}",
+         "evaluations", "wall time"],
         rows,
-        title=f"{args.model} {args.objective} "
+        title=f"{args.model} {objective_label(spec_string)} "
               f"{args.constraint}:{args.platform}, budget {args.budget}"))
     return 0
 
@@ -211,8 +272,11 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                         choices=["dla", "eye", "shi"])
     parser.add_argument("--mix", action="store_true",
                         help="co-search the dataflow per layer")
-    parser.add_argument("--objective", default="latency",
-                        choices=["latency", "energy", "edp"])
+    parser.add_argument("--objective", default=None,
+                        help="objective spec: a registered name (latency, "
+                             "energy, edp, area, power, ...), "
+                             "weighted:latency=0.5,energy=0.5, or "
+                             "multi:latency,energy (default: latency)")
     parser.add_argument("--constraint", default="area",
                         choices=["area", "power"])
     parser.add_argument("--platform", default="iot",
@@ -235,6 +299,12 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker count for parallel executors "
                              "(default: $REPRO_WORKERS, else available "
                              "cores capped at 8)")
+    parser.add_argument("--dispatch-min-batch", type=int, default=None,
+                        dest="dispatch_min_batch",
+                        help="adaptive dispatch: batches below this many "
+                             "elements per worker run in-process "
+                             "(default: $REPRO_DISPATCH_MIN or the "
+                             "measured break-even; 0 always shards)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -255,13 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     search = sub.add_parser("search",
                             help="run any registered search method")
-    search.add_argument("--method", default="confuciux",
+    search.add_argument("--method", default=None,
                         choices=method_names(),
-                        help="registered search method")
+                        help="registered search method (default: "
+                             "confuciux, or pareto-ga under --pareto)")
     search.add_argument("--progress", type=int, default=0,
                         help="print progress every N steps (0 = off)")
     search.add_argument("--save", default=None,
                         help="write the SessionResult JSON here")
+    search.add_argument("--pareto", action="store_true",
+                        help="multi-objective search: runs pareto-ga "
+                             "(unless --method overrides) on "
+                             "multi:latency,energy by default; a bare "
+                             "comma list in --objective becomes a "
+                             "multi: spec; prints the Pareto front")
     _add_task_arguments(search)
 
     compare = sub.add_parser("compare",

@@ -10,7 +10,6 @@ converged global value, the fine-tuned value, the convergence traces
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -34,7 +33,7 @@ from repro.rl.reinforce import Reinforce
 class ConfuciuXResult:
     """Everything ConfuciuX reports for one task."""
 
-    objective: str
+    objective: object
     constraint: Constraint
     global_result: SearchResult
     finetune_result: Optional[SearchResult]
@@ -107,7 +106,9 @@ class ConfuciuX:
 
     Args:
         layers: Target DNN model.
-        objective: "latency" | "energy" | "edp" (minimized).
+        objective: Any objective spec (name, ``weighted:``/``multi:``
+            string, spec dict, or :class:`repro.objectives.Objective`
+            instance), minimized; stored as its JSON-safe spec.
         constraint: A prebuilt constraint, or None to derive one from
             ``platform``/``constraint_kind`` per Table II.
         dataflow: Fixed style, or None with ``mix=True`` for co-automation.
@@ -122,7 +123,7 @@ class ConfuciuX:
     def __init__(
         self,
         layers: Sequence[Layer],
-        objective: str = "latency",
+        objective="latency",
         constraint: Optional[Constraint] = None,
         dataflow: Optional[str] = "dla",
         mix: bool = False,
@@ -136,8 +137,11 @@ class ConfuciuX:
         reinforce_kwargs: Optional[dict] = None,
         ga_kwargs: Optional[dict] = None,
     ) -> None:
+        from repro.objectives import objective_spec
+
         self.layers = list(layers)
-        self.objective = objective
+        # Canonical JSON-safe spec: ConfuciuXResult serializes it.
+        self.objective = objective_spec(objective)
         self.cost_model = cost_model or CostModel()
         self.space = ActionSpace.build(
             dataflow=dataflow or "dla", num_levels=num_levels,
@@ -159,25 +163,25 @@ class ConfuciuX:
         self._raw_evaluator: Optional[DesignPointEvaluator] = None
 
     # ------------------------------------------------------------------
-    def run(self, global_epochs: int = 500,
-            finetune_generations: int = 200) -> ConfuciuXResult:
-        """Run both stages; set ``finetune_generations=0`` to skip stage 2.
+    def run(self, *_args, **_kwargs) -> ConfuciuXResult:
+        """Removed in 1.3 (deprecated since 1.1); kept only to point
+        stragglers at the session API instead of an ``AttributeError``.
 
-        .. deprecated:: 1.1
-            Call the pipeline through the unified session API instead::
+        Use::
 
-                repro.explore(model=..., method="confuciux",
-                              budget=global_epochs,
-                              finetune=finetune_generations)
+            repro.explore(model=..., method="confuciux",
+                          budget=global_epochs,
+                          finetune=finetune_generations)
 
-            The direct path keeps working (and produces identical
-            results) but emits a :class:`DeprecationWarning`.
+        (or ``repro.SearchSession`` with a ``SearchSpec``) -- results are
+        bit-identical to what ``run`` produced.
         """
-        warnings.warn(
-            "ConfuciuX.run() is deprecated; use repro.explore(...) or "
-            "repro.SearchSession (method='confuciux') instead",
-            DeprecationWarning, stacklevel=2)
-        return self._run(global_epochs, finetune_generations)
+        raise RuntimeError(
+            "ConfuciuX.run() was removed; drive the pipeline through the "
+            "session API instead: repro.explore(model=..., "
+            "method='confuciux', budget=<global_epochs>, "
+            "finetune=<finetune_generations>) or repro.SearchSession. "
+            "Results are bit-identical to the removed shim.")
 
     def _run(self, global_epochs: int = 500,
              finetune_generations: int = 200) -> ConfuciuXResult:

@@ -77,14 +77,34 @@ def measure_max_consumption(
     cost_model: CostModel,
     space: Optional[ActionSpace] = None,
 ) -> float:
-    """C_max of Table II: whole-model consumption at the uniform max pair."""
+    """C_max of Table II: whole-model consumption at the uniform max pair.
+
+    The whole sweep is one batched-estimator call (one row per layer), so
+    an installed parallel backend shards the calibration across workers
+    exactly like any population batch.  The per-layer figures are
+    bit-identical to the scalar ``evaluate_layer`` loop, and the total
+    accumulates in layer order, so the constraint budgets never moved.
+    """
+    import numpy as np
+
+    from repro.costmodel.batched import STYLE_INDEX, LayerTable
+    from repro.costmodel.dataflow import get_dataflow
+
+    if not layers:
+        return 0.0
     space = space or ActionSpace.build(dataflow)
     decoded = space.decode(space.max_action())
     pes, l1_bytes = decoded[0], decoded[1]
+    num_layers = len(layers)
+    batch = cost_model.batched.evaluate(
+        LayerTable.build(layers),
+        np.arange(num_layers, dtype=np.int64),
+        STYLE_INDEX[get_dataflow(dataflow).style],
+        np.full(num_layers, pes, dtype=np.int64),
+        np.full(num_layers, l1_bytes, dtype=np.int64))
     total = 0.0
-    for layer in layers:
-        report = cost_model.evaluate_layer(layer, dataflow, pes, l1_bytes)
-        total += report.constraint(kind)
+    for value in batch.constraint(kind).tolist():
+        total += value
     return total
 
 

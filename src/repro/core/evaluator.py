@@ -19,13 +19,13 @@ from repro.core.constraints import PlatformConstraint, ResourceConstraint
 from repro.costmodel.batched import (
     STYLE_INDEX,
     LayerTable,
-    objective_totals,
     ordered_row_sum,
 )
 from repro.costmodel.estimator import CostModel
 from repro.costmodel.report import ModelCostReport, UtilizationReport
 from repro.env.spaces import ActionSpace
 from repro.models.layers import Layer
+from repro.objectives import CostTotals, resolve_objective
 
 Constraint = Union[PlatformConstraint, ResourceConstraint]
 
@@ -55,18 +55,26 @@ class DesignPointEvaluator:
 
     Args:
         layers: Target model.
-        objective: "latency" | "energy" | "edp" (minimized).
+        objective: Any objective spec -- a registered name
+            ("latency" / "energy" / "edp" / ...), a ``weighted:`` /
+            ``multi:`` string, a spec dict, or an
+            :class:`repro.objectives.Objective` instance (minimized).
         constraint: Platform (area/power) or resource (FPGA) budget.
         cost_model: The analytical estimator.
         space: Action space for level-indexed genomes.
         dataflow: Default style when assignments carry none.
         deployment: "lp" (per-layer partitions) or "ls" (one shared point).
+
+    The resolved :class:`~repro.objectives.Objective` is exposed as
+    :attr:`objective`; multi-objective specs score ``EvalResult.cost``
+    with their primary component (Pareto methods re-rank from the
+    aggregate figures on each result's report).
     """
 
     def __init__(
         self,
         layers: Sequence[Layer],
-        objective: str,
+        objective,
         constraint: Constraint,
         cost_model: CostModel,
         space: ActionSpace,
@@ -80,7 +88,7 @@ class DesignPointEvaluator:
         if not space.is_mix and dataflow is None:
             raise ValueError("a dataflow is required for non-MIX spaces")
         self.layers = list(layers)
-        self.objective = objective
+        self.objective = resolve_objective(objective)
         self.constraint = constraint
         self.cost_model = cost_model
         self.space = space
@@ -130,7 +138,7 @@ class DesignPointEvaluator:
                 self.layers, assignments, dataflow=self.dataflow)
         used, feasible = self._check(report, assignments)
         return EvalResult(
-            cost=report.objective(self.objective),
+            cost=self.objective.evaluate(report),
             feasible=feasible,
             used=used,
             report=report,
@@ -270,7 +278,9 @@ class DesignPointEvaluator:
         else:
             area_total = ordered_row_sum(area)
             power_total = ordered_row_sum(power)
-        cost = objective_totals(latency_total, energy_total, self.objective)
+        cost = np.asarray(self.objective.evaluate(CostTotals(
+            latency_total, energy_total, area_total, power_total)),
+            dtype=np.float64)
 
         constraint = self.constraint
         if isinstance(constraint, ResourceConstraint):

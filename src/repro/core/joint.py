@@ -22,7 +22,7 @@ STYLE_LETTERS = {"dla": "D", "shi": "S", "eye": "E"}
 class JointSearch:
     """Con'X-MIX: joint per-layer dataflow and resource assignment."""
 
-    def __init__(self, layers: Sequence[Layer], objective: str = "latency",
+    def __init__(self, layers: Sequence[Layer], objective="latency",
                  constraint: Optional[Constraint] = None,
                  constraint_kind: str = "area", platform: str = "iot",
                  num_levels: int = 12, max_pes: int = 128,

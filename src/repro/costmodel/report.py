@@ -9,12 +9,17 @@ import numpy as np
 
 
 def objective_totals(latency, energy, objective: str):
-    """Objective lookup shared by every model-level result record.
+    """Legacy objective lookup over bare (latency, energy) totals.
 
     Works elementwise on arrays (the batch engine's aggregates) exactly as
     it does on scalars; the ``edp`` product is only computed when asked
     for (this sits on hot paths, and for arrays the discarded multiply
     would allocate a population-sized buffer).
+
+    Only the three historical names are served here; richer objectives
+    (area/power components, weighted blends, penalties, multi-objective
+    trade-offs) live in :mod:`repro.objectives` and evaluate over full
+    reports -- the ``objective`` methods below dispatch to them.
     """
     if objective == "latency":
         return latency
@@ -25,6 +30,20 @@ def objective_totals(latency, energy, objective: str):
     raise KeyError(
         f"unknown objective {objective!r}; available: latency, energy, edp"
     )
+
+
+def _resolve_objective_value(report, objective):
+    """Shared ``objective`` dispatch of the report classes: legacy names
+    take the historical (bit-identical) expressions; anything else --
+    an :class:`repro.objectives.Objective` instance or a composite spec
+    -- resolves through the objectives registry."""
+    if isinstance(objective, str) and objective in ("latency", "energy",
+                                                    "edp"):
+        return objective_totals(report.latency_cycles, report.energy_nj,
+                                objective)
+    from repro.objectives import resolve_objective
+
+    return resolve_objective(objective).evaluate(report)
 
 
 @dataclass(frozen=True)
@@ -59,9 +78,11 @@ class CostReport:
         """Energy-delay product (an alternative objective, Section III-D)."""
         return self.energy_nj * self.latency_cycles
 
-    def objective(self, name: str) -> float:
-        """Look up an optimization objective by name."""
-        return objective_totals(self.latency_cycles, self.energy_nj, name)
+    def objective(self, name) -> float:
+        """Evaluate an optimization objective: a registered name, a
+        ``weighted:``/``multi:`` spec, or an
+        :class:`repro.objectives.Objective` instance."""
+        return _resolve_objective_value(self, name)
 
     def constraint(self, name: str) -> float:
         """Look up a platform-constraint quantity by name."""
@@ -110,9 +131,10 @@ class BatchCostReport:
     def edp(self) -> np.ndarray:
         return self.energy_nj * self.latency_cycles
 
-    def objective(self, name: str) -> np.ndarray:
-        """Objective values for the whole batch."""
-        return objective_totals(self.latency_cycles, self.energy_nj, name)
+    def objective(self, name) -> np.ndarray:
+        """Objective values for the whole batch (name, spec, or
+        :class:`repro.objectives.Objective` instance)."""
+        return _resolve_objective_value(self, name)
 
     def constraint(self, name: str) -> np.ndarray:
         """Constraint-quantity values for the whole batch."""
@@ -167,8 +189,8 @@ class ModelCostReport:
     def edp(self) -> float:
         return self.energy_nj * self.latency_cycles
 
-    def objective(self, name: str) -> float:
-        return objective_totals(self.latency_cycles, self.energy_nj, name)
+    def objective(self, name) -> float:
+        return _resolve_objective_value(self, name)
 
     def constraint(self, name: str) -> float:
         table = {"area": self.area_um2, "power": self.power_mw}

@@ -29,6 +29,7 @@ from repro.costmodel.report import CostReport
 from repro.env.observation import ObservationEncoder
 from repro.env.spaces import ActionSpace
 from repro.models.layers import Layer
+from repro.objectives import resolve_objective
 
 
 @dataclass(frozen=True)
@@ -54,7 +55,11 @@ class HWAssignmentEnv:
     Args:
         layers: The target model (one time step per layer).
         space: Coarse-grained action space (Table I).
-        objective: "latency" | "energy" | "edp" -- minimized.
+        objective: Any objective spec (registered name, ``weighted:`` /
+            ``multi:`` string, spec dict, or
+            :class:`repro.objectives.Objective` instance) -- minimized.
+            Episodic rewards score the resolved objective per layer;
+            multi-objective specs reward their primary component.
         constraint: Area/power budget or FPGA resource caps.
         cost_model: Analytical estimator (the Env's MAESTRO).
         dataflow: Fixed style; required unless ``space.is_mix``.
@@ -94,7 +99,7 @@ class HWAssignmentEnv:
                 f"(use 'accumulated' or 'constant')")
         self.layers = list(layers)
         self.space = space
-        self.objective = objective
+        self.objective = resolve_objective(objective)
         self.constraint = constraint
         self.cost_model = cost_model
         self.dataflow = dataflow
@@ -159,7 +164,7 @@ class HWAssignmentEnv:
 
         self._episode_actions.append(action)
         self._episode_assignments.append(decoded)
-        self._episode_cost += report.objective(self.objective)
+        self._episode_cost += self.objective.evaluate(report)
         violated = self._consume(report, pes, l1_bytes)
 
         if violated:
@@ -177,7 +182,7 @@ class HWAssignmentEnv:
                 "report": report, "violated": True, "episode": episode,
             }
 
-        performance = -report.objective(self.objective)
+        performance = -self.objective.evaluate(report)
         if self.p_min is None or performance < self.p_min:
             self.p_min = performance
         if self.reward_shaping == "pmin":
@@ -380,7 +385,7 @@ class EpisodePlan:
             np.array(self._pes, dtype=np.int64),
             np.array(self._l1, dtype=np.int64))
         env.evaluations += steps
-        costs = batch.objective(env.objective).tolist()
+        costs = np.asarray(env.objective.evaluate(batch)).tolist()
 
         # Sequential replay of the reward shaping, in scalar step order.
         rewards: List[float] = []

@@ -21,12 +21,12 @@ import numpy as np
 from repro.costmodel.batched import (
     STYLE_INDEX,
     LayerTable,
-    objective_totals,
     ordered_row_sum,
 )
 from repro.costmodel.estimator import CostModel
 from repro.env.spaces import ActionSpace
 from repro.models.layers import Layer
+from repro.objectives import CostTotals, resolve_objective
 
 
 def _action_pair_grid(space: ActionSpace) -> Tuple[np.ndarray, np.ndarray]:
@@ -126,7 +126,13 @@ def uniform_sweep(layers: Sequence[Layer], dataflow: str, objective: str,
         batch.latency_cycles.reshape(num_pairs, num_layers))
     energy_total = ordered_row_sum(
         batch.energy_nj.reshape(num_pairs, num_layers))
-    cost = objective_totals(latency_total, energy_total, objective)
+    # LS aggregates: one accelerator runs every layer, so area is that of
+    # the single design point and power is the worst (peak) layer.
+    area_total = batch.area_um2.reshape(num_pairs, num_layers).max(axis=1)
+    power_total = batch.power_mw.reshape(num_pairs, num_layers).max(axis=1)
+    cost = np.asarray(resolve_objective(objective).evaluate(CostTotals(
+        latency_total, energy_total, area_total, power_total)),
+        dtype=np.float64)
     return cost.reshape(space.num_levels, space.num_levels)
 
 

@@ -50,6 +50,7 @@ def compare_methods(
     cost_model: Optional[CostModel] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    dispatch_min_batch: Optional[int] = None,
 ) -> Dict[str, SearchResult]:
     """Run every method on ``task`` for ``epochs`` and collect results.
 
@@ -63,6 +64,9 @@ def compare_methods(
     of the grid through one parallel backend ("thread" / "process");
     the worker pool is shared across all methods and shut down before
     returning.  Results are bit-identical to the serial grid.
+    ``dispatch_min_batch`` tunes the adaptive in-process fallback for
+    small batches (``None`` resolves ``$REPRO_DISPATCH_MIN`` / the
+    measured default; 0 always shards).
     """
     from repro.search.session import SessionContext, run_method
 
@@ -70,9 +74,11 @@ def compare_methods(
     constraint = task.constraint(cost_model)
     backend = None
     if executor is not None and executor != "serial":
-        from repro.parallel import make_backend
+        from repro.parallel import default_dispatch_min_batch, make_backend
 
-        backend = make_backend(executor, workers)
+        if dispatch_min_batch is None:
+            dispatch_min_batch = default_dispatch_min_batch()
+        backend = make_backend(executor, workers, dispatch_min_batch)
         cost_model.set_executor(backend)
     results: Dict[str, SearchResult] = {}
     try:

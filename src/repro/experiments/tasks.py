@@ -47,7 +47,9 @@ class TaskSpec:
     Attributes:
         model: Registry name or an explicit layer list.
         dataflow: Style, ignored when ``mix`` is True.
-        objective: "latency" | "energy" | "edp".
+        objective: Any objective spec (name, ``weighted:``/``multi:``
+            string, spec dict, or :class:`repro.objectives.Objective`
+            instance); the environment and evaluator resolve it.
         constraint_kind: "area" | "power" | "resource".
         platform: Table-II tier, used for area/power constraints.
         mix: Per-layer dataflow co-automation.
@@ -62,7 +64,7 @@ class TaskSpec:
 
     model: Union[str, Sequence[Layer]]
     dataflow: str = "dla"
-    objective: str = "latency"
+    objective: object = "latency"
     constraint_kind: str = "area"
     platform: str = "iot"
     mix: bool = False
@@ -115,9 +117,12 @@ class TaskSpec:
             deployment=self.deployment)
 
     def label(self) -> str:
+        from repro.objectives import objective_label
+
         model = self.model if isinstance(self.model, str) else "custom"
         return (f"{model}-{'MIX' if self.mix else self.dataflow} "
-                f"{self.objective} {self.constraint_kind}:{self.platform}")
+                f"{objective_label(self.objective)} "
+                f"{self.constraint_kind}:{self.platform}")
 
     def scaled(self, layer_slice: Optional[int]) -> "TaskSpec":
         """A copy restricted to the first ``layer_slice`` layers."""

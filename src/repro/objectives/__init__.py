@@ -1,0 +1,71 @@
+"""Pluggable optimization objectives and Pareto utilities.
+
+The objective subsystem replaces the hard-coded
+``objective: "latency" | "energy" | "edp"`` strings with first-class,
+vectorized objectives shared by every consumer -- the genome evaluator,
+the batched population kernel, the RL environment's rewards, and the
+search sessions:
+
+* :class:`~repro.objectives.base.Objective` -- the protocol: elementwise
+  ``evaluate(report)`` over scalar or batch cost reports.
+* :func:`~repro.objectives.registry.register_objective` /
+  :func:`~repro.objectives.registry.resolve_objective` -- the registry
+  and the JSON-safe spec grammar (``"latency"``,
+  ``"weighted:latency=0.5,energy=0.5"``, ``"multi:latency,energy"``,
+  structured dicts).
+* :class:`~repro.objectives.base.MultiObjective` plus the vectorized
+  non-dominated-sort / :class:`~repro.objectives.pareto.ParetoArchive`
+  utilities behind the ``pareto-ga`` search method.
+
+Legacy names stay bit-identical to the pre-refactor string paths.
+"""
+
+from repro.objectives.base import (
+    COMPONENT_ORDER,
+    ComponentObjective,
+    CostTotals,
+    MultiObjective,
+    Objective,
+    PenaltyObjective,
+    WeightedObjective,
+)
+from repro.objectives.pareto import (
+    ParetoArchive,
+    crowding_distance,
+    domination_matrix,
+    non_dominated_mask,
+    non_dominated_sort,
+)
+from repro.objectives.registry import (
+    get_objective,
+    list_objectives,
+    objective_cost_label,
+    objective_label,
+    objective_spec,
+    register_objective,
+    resolve_objective,
+    unregister_objective,
+)
+
+__all__ = [
+    "COMPONENT_ORDER",
+    "CostTotals",
+    "Objective",
+    "ComponentObjective",
+    "WeightedObjective",
+    "PenaltyObjective",
+    "MultiObjective",
+    "register_objective",
+    "unregister_objective",
+    "get_objective",
+    "list_objectives",
+    "resolve_objective",
+    "objective_spec",
+    "objective_label",
+    "objective_cost_label",
+    "ParetoArchive",
+    "domination_matrix",
+    "non_dominated_mask",
+    "non_dominated_sort",
+    "crowding_distance",
+]

@@ -1,0 +1,180 @@
+"""Vectorized non-dominated sorting and Pareto-front maintenance.
+
+All functions operate on a ``(n, k)`` float array of objective values,
+minimized componentwise.  Domination is the standard weak form: ``a``
+dominates ``b`` iff ``a <= b`` in every component and ``a < b`` in at
+least one -- so exact duplicates never dominate each other and share a
+front.  Infinities are legal (infeasible points are conventionally scored
+``+inf`` in every component, which puts them behind every feasible
+point).
+
+The sorts are deterministic functions of the input order: peeling
+preserves index order within each front, which is what makes Pareto
+fronts reproducible for fixed seeds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "domination_matrix",
+    "non_dominated_mask",
+    "non_dominated_sort",
+    "crowding_distance",
+    "ParetoArchive",
+]
+
+
+def _as_values(values) -> np.ndarray:
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 1:
+        values = values.reshape(-1, 1)
+    if values.ndim != 2:
+        raise ValueError(
+            f"objective values must be a (n, k) array, got shape "
+            f"{values.shape}")
+    return values
+
+
+def domination_matrix(values) -> np.ndarray:
+    """Boolean ``(n, n)`` matrix: ``D[i, j]`` iff point i dominates j.
+
+    One broadcasted comparison pair -- O(n^2 k) memory, no Python loop --
+    which is fast for the population sizes the GA breeds (hundreds).
+    """
+    values = _as_values(values)
+    a = values[:, None, :]
+    b = values[None, :, :]
+    return (a <= b).all(axis=2) & (a < b).any(axis=2)
+
+
+def non_dominated_mask(values) -> np.ndarray:
+    """Boolean ``(n,)`` mask of the points no other point dominates."""
+    values = _as_values(values)
+    if len(values) == 0:
+        return np.zeros(0, dtype=bool)
+    return ~domination_matrix(values).any(axis=0)
+
+
+def non_dominated_sort(values) -> np.ndarray:
+    """NSGA-II fast non-dominated sort: the front rank of every point.
+
+    Rank 0 is the Pareto front; rank ``r`` points are non-dominated once
+    every rank ``< r`` point is removed.  Implemented by peeling fronts
+    off a precomputed domination-count vector, all array arithmetic.
+    """
+    values = _as_values(values)
+    n = len(values)
+    ranks = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return ranks
+    dominates = domination_matrix(values)
+    # dominated_by[j] = number of points currently dominating j.
+    dominated_by = dominates.sum(axis=0)
+    remaining = np.ones(n, dtype=bool)
+    rank = 0
+    while remaining.any():
+        front = remaining & (dominated_by == 0)
+        if not front.any():  # pragma: no cover - domination is acyclic
+            raise RuntimeError("non-dominated sort failed to progress")
+        ranks[front] = rank
+        remaining &= ~front
+        # Removing the front releases its domination counts.
+        dominated_by -= dominates[front].sum(axis=0)
+        rank += 1
+    return ranks
+
+
+def crowding_distance(values) -> np.ndarray:
+    """NSGA-II crowding distance of each point *within one front*.
+
+    Boundary points (componentwise extremes) get ``inf`` so selection
+    keeps the front's spread; interior points get the normalized
+    perimeter of their neighbor cuboid.  Callers sort descending.
+    """
+    values = _as_values(values)
+    n, k = values.shape
+    distance = np.zeros(n, dtype=np.float64)
+    if n <= 2:
+        distance[:] = np.inf
+        return distance
+    for component in range(k):
+        order = np.argsort(values[:, component], kind="stable")
+        component_values = values[order, component]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        lo, hi = component_values[0], component_values[-1]
+        # Degenerate spans (all equal, or infinite endpoints from
+        # infeasible rows) contribute no crowding on this axis; checking
+        # before subtracting avoids an inf - inf NaN warning.
+        if hi <= lo or not (np.isfinite(lo) and np.isfinite(hi)):
+            continue
+        gaps = (component_values[2:] - component_values[:-2]) / (hi - lo)
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+class ParetoArchive:
+    """An incrementally maintained non-dominated set with payloads.
+
+    The GA streams every feasible evaluation through the archive; at any
+    point :meth:`front` returns the current Pareto set (values and the
+    caller's payloads) in first-seen order, deduplicated on exact value
+    ties so repeated genomes do not balloon the front.
+
+    Args:
+        max_size: Optional cap; when exceeded the most crowded points
+            are dropped (crowding-distance pruning), keeping the spread.
+    """
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 (or None)")
+        self.max_size = max_size
+        self._values: List[np.ndarray] = []
+        self._payloads: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def add(self, values, payload=None) -> bool:
+        """Offer one point; returns True if it joined the archive."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        for kept in self._values:
+            if ((kept <= values).all() and (kept < values).any()) \
+                    or (kept == values).all():
+                return False
+        keep = [i for i, kept in enumerate(self._values)
+                if not ((values <= kept).all() and (values < kept).any())]
+        if len(keep) != len(self._values):
+            self._values = [self._values[i] for i in keep]
+            self._payloads = [self._payloads[i] for i in keep]
+        self._values.append(values)
+        self._payloads.append(payload)
+        if self.max_size is not None and len(self._values) > self.max_size:
+            self._prune()
+        return True
+
+    def extend(self, values, payloads: Sequence) -> int:
+        """Offer many points; returns how many joined."""
+        added = 0
+        for row, payload in zip(np.asarray(values, dtype=np.float64),
+                                payloads):
+            added += bool(self.add(row, payload))
+        return added
+
+    def _prune(self) -> None:
+        stacked = np.stack(self._values)
+        crowding = crowding_distance(stacked)
+        # Drop the single most crowded (smallest distance) point; ties
+        # resolve to the earliest index for determinism.
+        drop = int(np.argmin(crowding))
+        del self._values[drop]
+        del self._payloads[drop]
+
+    def front(self) -> List[Tuple[np.ndarray, object]]:
+        """The archived (values, payload) pairs in first-seen order."""
+        return list(zip(self._values, self._payloads))

@@ -11,7 +11,11 @@ from repro.optim.random_search import RandomSearch
 from repro.optim.annealing import SimulatedAnnealing
 from repro.optim.genetic import GeneticAlgorithm
 from repro.optim.bayesian import BayesianOptimization
+from repro.optim.pareto_ga import ParetoGA
 
+#: The paper's five scalar baselines (``pareto-ga`` is registered with
+#: the search registry separately: it is a capability extension, not one
+#: of the paper's comparison columns).
 BASELINE_OPTIMIZERS = {
     "grid": GridSearch,
     "random": RandomSearch,
@@ -27,5 +31,6 @@ __all__ = [
     "SimulatedAnnealing",
     "GeneticAlgorithm",
     "BayesianOptimization",
+    "ParetoGA",
     "BASELINE_OPTIMIZERS",
 ]

@@ -119,5 +119,32 @@ class GenomeOptimizer:
                 genome.append(int(self.rng.integers(len(space.dataflows))))
         return genome
 
+    # Shared breeding operators (the GA-family methods) ----------------
+    def uniform_crossover(self, a: Sequence[int],
+                          b: Sequence[int]) -> List[int]:
+        """Uniform blending: each gene comes from either parent with
+        probability 1/2 (one RNG draw per gene)."""
+        child = list(a)
+        for i in range(len(child)):
+            if self.rng.random() < 0.5:
+                child[i] = b[i]
+        return child
+
+    def resample_mutation(self, genome: Sequence[int],
+                          rate: float) -> List[int]:
+        """Per-gene uniform resampling at ``rate``, respecting the gene
+        layout: the two level genes draw from ``num_levels``, the MIX
+        style gene from the dataflow list."""
+        space = self._evaluator.space
+        per_step = space.actions_per_step
+        mutated = list(genome)
+        for i in range(len(mutated)):
+            if self.rng.random() < rate:
+                head = i % per_step
+                size = (space.num_levels if head < 2
+                        else len(space.dataflows))
+                mutated[i] = int(self.rng.integers(size))
+        return mutated
+
     def _run(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError

@@ -57,23 +57,10 @@ class GeneticAlgorithm(GenomeOptimizer):
         return scored[best][1]
 
     def _crossover(self, a: List[int], b: List[int]) -> List[int]:
-        child = list(a)
-        for i in range(len(child)):
-            if self.rng.random() < 0.5:
-                child[i] = b[i]
-        return child
+        return self.uniform_crossover(a, b)
 
     def _mutate(self, genome: List[int]) -> List[int]:
-        space = self._evaluator.space
-        per_step = space.actions_per_step
-        mutated = list(genome)
-        for i in range(len(mutated)):
-            if self.rng.random() < self.mutation_rate:
-                head = i % per_step
-                size = (space.num_levels if head < 2
-                        else len(space.dataflows))
-                mutated[i] = int(self.rng.integers(size))
-        return mutated
+        return self.resample_mutation(genome, self.mutation_rate)
 
     # ------------------------------------------------------------------
     def _run(self) -> None:

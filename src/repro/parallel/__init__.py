@@ -16,11 +16,13 @@ suite in ``tests/test_parallel_parity.py`` holds that line.
 """
 
 from repro.parallel.backend import (
+    DEFAULT_DISPATCH_MIN_BATCH,
     EXECUTORS,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    default_dispatch_min_batch,
     default_workers,
     make_backend,
     shard_bounds,
@@ -29,8 +31,10 @@ from repro.parallel.coordinator import ParallelCoordinator
 from repro.parallel.shm import BatchBlock
 
 __all__ = [
+    "DEFAULT_DISPATCH_MIN_BATCH",
     "EXECUTORS",
     "BatchBlock",
+    "default_dispatch_min_batch",
     "ExecutionBackend",
     "ParallelCoordinator",
     "ProcessBackend",

@@ -40,11 +40,13 @@ from repro.costmodel.report import BatchCostReport
 from repro.parallel.shm import BatchBlock, mute_resource_tracker
 
 __all__ = [
+    "DEFAULT_DISPATCH_MIN_BATCH",
     "EXECUTORS",
     "ExecutionBackend",
     "ProcessBackend",
     "SerialBackend",
     "ThreadBackend",
+    "default_dispatch_min_batch",
     "default_workers",
     "make_backend",
     "shard_bounds",
@@ -52,6 +54,13 @@ __all__ = [
 
 #: Names accepted by :func:`make_backend` and ``SearchSpec.executor``.
 EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: Default adaptive-dispatch threshold: batches smaller than this many
+#: elements *per worker* run in-process instead of being sharded -- the
+#: per-batch IPC cost (queue hop + shared-memory map) beats the kernel
+#: itself below roughly this size (see the ``break_even`` section of
+#: BENCH_parallel.json, written by ``bench_parallel_scaling.py``).
+DEFAULT_DISPATCH_MIN_BATCH = 256
 
 
 def default_workers() -> int:
@@ -65,6 +74,20 @@ def default_workers() -> int:
             raise ValueError(f"REPRO_WORKERS must be >= 1, got {env!r}")
         return workers
     return max(1, min(8, os.cpu_count() or 1))
+
+
+def default_dispatch_min_batch() -> int:
+    """Adaptive-dispatch threshold when none is requested:
+    ``$REPRO_DISPATCH_MIN`` if set (0 disables the fallback), else
+    :data:`DEFAULT_DISPATCH_MIN_BATCH`."""
+    env = os.environ.get("REPRO_DISPATCH_MIN")
+    if env is not None:
+        threshold = int(env)
+        if threshold < 0:
+            raise ValueError(
+                f"REPRO_DISPATCH_MIN must be >= 0, got {env!r}")
+        return threshold
+    return DEFAULT_DISPATCH_MIN_BATCH
 
 
 def shard_bounds(batch: int, shards: int) -> List[Tuple[int, int]]:
@@ -86,14 +109,41 @@ def shard_bounds(batch: int, shards: int) -> List[Tuple[int, int]]:
 
 
 class ExecutionBackend:
-    """Interface: evaluate one validated batch, own any worker state."""
+    """Interface: evaluate one validated batch, own any worker state.
+
+    Args:
+        workers: Degree of sharding.
+        min_batch_per_worker: Adaptive-dispatch threshold -- batches with
+            fewer than ``min_batch_per_worker * workers`` elements run
+            through the in-process kernel instead of the workers (the
+            IPC/wakeup cost exceeds the kernel below the break-even; see
+            :func:`default_dispatch_min_batch`).  Directly constructed
+            backends default to ``0`` (always shard, the legacy
+            behavior); the spec-level surfaces (``SearchSpec`` sessions,
+            ``compare_methods``, the CLI) resolve the adaptive default.
+            Sharding never changes results, so neither does the
+            fallback.
+    """
 
     name = "base"
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1,
+                 min_batch_per_worker: int = 0) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if min_batch_per_worker < 0:
+            raise ValueError("min_batch_per_worker must be >= 0")
         self.workers = workers
+        self.min_batch_per_worker = min_batch_per_worker
+        #: Dispatch counters: how many batches ran in-process vs sharded
+        #: (observability for the adaptive fallback; never affects
+        #: results).
+        self.inline_batches = 0
+        self.sharded_batches = 0
+
+    def _below_break_even(self, batch: int) -> bool:
+        """Whether ``batch`` is too small to be worth sharding."""
+        return batch < self.min_batch_per_worker * self.workers
 
     def evaluate(self, hw: HardwareConfig, table: LayerTable,
                  layer_idx: np.ndarray, style_idx: np.ndarray,
@@ -144,8 +194,9 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def __init__(self, workers: int = 1) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int = 1,
+                 min_batch_per_worker: int = 0) -> None:
+        super().__init__(workers, min_batch_per_worker)
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -158,9 +209,11 @@ class ThreadBackend(ExecutionBackend):
     def evaluate(self, hw, table, layer_idx, style_idx, pes,
                  l1_bytes) -> BatchCostReport:
         bounds = shard_bounds(layer_idx.size, self.workers)
-        if len(bounds) == 1:
+        if len(bounds) == 1 or self._below_break_even(layer_idx.size):
+            self.inline_batches += 1
             return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
                                          pes, l1_bytes)
+        self.sharded_batches += 1
         pool = self._ensure_pool()
         futures = [
             pool.submit(evaluate_batch_kernel, hw, table,
@@ -235,13 +288,17 @@ class ProcessBackend(ExecutionBackend):
         start_method: ``multiprocessing`` start method; default
             ``$REPRO_MP_START`` or ``fork`` where available (spawn works
             too, it just pays a per-worker interpreter start).
+        min_batch_per_worker: Adaptive-dispatch threshold (see
+            :class:`ExecutionBackend`); small batches run in-process and
+            do not spawn the pool.
     """
 
     name = "process"
 
     def __init__(self, workers: int = 1,
-                 start_method: Optional[str] = None) -> None:
-        super().__init__(workers)
+                 start_method: Optional[str] = None,
+                 min_batch_per_worker: int = 0) -> None:
+        super().__init__(workers, min_batch_per_worker)
         import multiprocessing
 
         if start_method is None:
@@ -300,6 +357,14 @@ class ProcessBackend(ExecutionBackend):
 
     def evaluate(self, hw, table, layer_idx, style_idx, pes,
                  l1_bytes) -> BatchCostReport:
+        if self._below_break_even(layer_idx.size):
+            # Too small to amortize the queue hop + segment map; the
+            # in-process kernel is bit-identical, so only latency
+            # changes.  An idle pool stays warm for the next big batch.
+            self.inline_batches += 1
+            return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
+                                         pes, l1_bytes)
+        self.sharded_batches += 1
         self._ensure_started()
         bounds = shard_bounds(layer_idx.size, self.workers)
         task_id = self._next_task
@@ -388,13 +453,21 @@ _BACKENDS = {
 }
 
 
-def make_backend(executor: str,
-                 workers: Optional[int] = None) -> ExecutionBackend:
-    """Build a backend by name ("serial" | "thread" | "process")."""
+def make_backend(executor: str, workers: Optional[int] = None,
+                 min_batch_per_worker: int = 0) -> ExecutionBackend:
+    """Build a backend by name ("serial" | "thread" | "process").
+
+    ``min_batch_per_worker`` enables adaptive dispatch on the parallel
+    backends (0, the default, always shards -- see
+    :class:`ExecutionBackend`); the serial backend ignores it.
+    """
     try:
         cls = _BACKENDS[executor]
     except KeyError:
         raise ValueError(
             f"unknown executor {executor!r}; available: "
             f"{', '.join(EXECUTORS)}") from None
-    return cls(workers=default_workers() if workers is None else workers)
+    workers = default_workers() if workers is None else workers
+    if cls is SerialBackend:
+        return cls(workers=workers)
+    return cls(workers=workers, min_batch_per_worker=min_batch_per_worker)

@@ -44,15 +44,21 @@ class ParallelCoordinator(SearchObserver):
         keep_alive: Keep workers running after ``on_teardown`` so the
             next run reuses them; call :meth:`close` (or use the
             coordinator as a context manager) when done.
+        min_batch_per_worker: Adaptive-dispatch threshold forwarded to
+            the backend (0, the default, always shards; sessions built
+            from a :class:`~repro.search.spec.SearchSpec` pass the
+            spec-resolved break-even so small batches skip the IPC).
     """
 
     def __init__(self, executor: str = "process",
                  workers: Optional[int] = None,
-                 keep_alive: bool = False) -> None:
+                 keep_alive: bool = False,
+                 min_batch_per_worker: int = 0) -> None:
         super().__init__()
         self.executor = executor
         self.workers = workers
         self.keep_alive = keep_alive
+        self.min_batch_per_worker = min_batch_per_worker
         self.backend: Optional[ExecutionBackend] = None
         self._cost_model = None
 
@@ -60,7 +66,8 @@ class ParallelCoordinator(SearchObserver):
     def on_start(self, session) -> None:
         """Install the backend on the session's shared cost model."""
         if self.backend is None:
-            self.backend = make_backend(self.executor, self.workers)
+            self.backend = make_backend(self.executor, self.workers,
+                                        self.min_batch_per_worker)
         self._cost_model = session.cost_model
         self._cost_model.set_executor(self.backend)
 

@@ -93,9 +93,12 @@ class ProgressReporter(SearchObserver):
         self.stream = stream if stream is not None else sys.stderr
 
     def on_start(self, session) -> None:
+        from repro.objectives import objective_label
+
         spec = session.spec
         print(f"[{spec.method}] searching {spec.model} "
-              f"({spec.objective}, {spec.constraint_kind}:{spec.platform}, "
+              f"({objective_label(spec.objective)}, "
+              f"{spec.constraint_kind}:{spec.platform}, "
               f"budget {spec.budget})", file=self.stream)
 
     def on_step(self, step, cost, best_cost) -> None:

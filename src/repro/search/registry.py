@@ -197,6 +197,13 @@ def _register_builtins() -> None:
         kind=KIND_EPISODIC, variant_of="reinforce",
         description="Table IX ablation: REINFORCE with an MLP policy")
 
+    from repro.optim.pareto_ga import ParetoGA
+
+    register_method(
+        "pareto-ga", functools.partial(_construct, ParetoGA),
+        kind=KIND_GENOME, batchable=True,
+        description="NSGA-II multi-objective search; returns a Pareto "
+                    "front (pair with objective='multi:...')")
     register_method(
         "local-ga", functools.partial(_construct, LocalGA),
         kind=KIND_GENOME, batchable=True, supports_finetune=True,

@@ -465,13 +465,28 @@ class SessionResult:
     def history(self) -> List[float]:
         return self.result.history
 
+    @property
+    def pareto_front(self) -> Optional[List[Dict[str, Any]]]:
+        """The non-dominated front a multi-objective method found, as a
+        list of JSON-safe ``{"objectives": {name: value}, "genome": ...,
+        "assignments": ...}`` records (``None`` for scalar methods).
+        Lives in ``result.extra``, so it serializes with the session."""
+        return self.result.extra.get("pareto_front")
+
     def summary(self) -> str:
-        """One line: method, model, outcome."""
+        """One line: method, model, outcome.  For multi-objective runs
+        the scalar figure is labelled with its primary component (that
+        is all ``best_cost`` tracks); the front size is appended."""
+        from repro.objectives import objective_cost_label
+
         cost = self.result.format_cost()
         flag = " (stopped early)" if self.stopped_early else ""
+        front = self.pareto_front
+        if front is not None:
+            flag += f", {len(front)}-point Pareto front"
         return (f"{self.method} on {self.spec.model}: "
-                f"best {self.spec.objective} {cost} in "
-                f"{self.result.evaluations} evaluations{flag}")
+                f"best {objective_cost_label(self.spec.objective)} {cost} "
+                f"in {self.result.evaluations} evaluations{flag}")
 
     # Serialization ----------------------------------------------------
     def to_dict(self) -> dict:
@@ -560,7 +575,9 @@ class SearchSession:
             # backend already installed on the cost model (directly or
             # by a passed coordinator) is the caller's to manage.
             observers.append(ParallelCoordinator(
-                executor=executor, workers=self.spec.resolved_workers()))
+                executor=executor, workers=self.spec.resolved_workers(),
+                min_batch_per_worker=(
+                    self.spec.resolved_dispatch_min_batch())))
         tracker = _Tracker(callbacks)
         context = SessionContext(
             task=self.spec.task(), budget=self.spec.budget,

@@ -16,8 +16,11 @@ from typing import Optional
 
 from repro.experiments.tasks import TaskSpec
 from repro.models.zoo import list_models
+from repro.objectives import Objective, resolve_objective
 
-#: Values accepted by the validated enum-like fields.
+#: The legacy scalar objective names (any registered objective name or
+#: ``weighted:`` / ``multi:`` / dict spec is accepted as well; see
+#: :mod:`repro.objectives`).
 OBJECTIVES = ("latency", "energy", "edp")
 DATAFLOWS = ("dla", "eye", "shi")
 CONSTRAINT_KINDS = ("area", "power", "resource")
@@ -44,7 +47,12 @@ class SearchSpec:
             :class:`repro.experiments.tasks.TaskSpec` instead).
         method: Registered search-method name (see
             :func:`repro.search.registry.list_methods`).
-        objective: "latency" | "energy" | "edp" (minimized).
+        objective: Any objective spec (minimized): a registered name
+            ("latency" / "energy" / "edp" / "area" / "power" / custom),
+            a compact ``weighted:latency=0.5,energy=0.5`` or
+            ``multi:latency,energy`` string, a structured spec dict, or
+            an :class:`repro.objectives.Objective` instance (stored as
+            its JSON-safe spec, so serialization round-trips).
         dataflow: Fixed style, also used for constraint calibration under
             MIX.
         constraint_kind: "area" | "power" (Table II platform budgets) or
@@ -72,11 +80,17 @@ class SearchSpec:
             ``$REPRO_WORKERS``, else the available cores capped at 8
             (see :func:`repro.parallel.default_workers`).  Never affects
             results, only sharding.
+        dispatch_min_batch: Adaptive-dispatch threshold: parallel
+            backends fall back to the in-process kernel for batches
+            smaller than ``dispatch_min_batch * workers`` (the measured
+            IPC break-even; see BENCH_parallel.json).  ``None`` defers to
+            ``$REPRO_DISPATCH_MIN``, else the built-in default; ``0``
+            disables the fallback.  Never affects results.
     """
 
     model: str
     method: str = "confuciux"
-    objective: str = "latency"
+    objective: object = "latency"
     dataflow: str = "dla"
     constraint_kind: str = "area"
     platform: str = "iot"
@@ -92,6 +106,7 @@ class SearchSpec:
     finetune: Optional[int] = None
     executor: Optional[str] = None
     workers: Optional[int] = None
+    dispatch_min_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str):
@@ -101,8 +116,18 @@ class SearchSpec:
         if self.model not in list_models():
             raise ValueError(
                 f"unknown model {self.model!r}; see repro.list_models()")
-        for attribute, allowed in (("objective", OBJECTIVES),
-                                   ("dataflow", DATAFLOWS),
+        if isinstance(self.objective, Objective):
+            # Instances are stored as their JSON-safe spec so the frozen
+            # dataclass stays serializable and comparable.
+            object.__setattr__(self, "objective", self.objective.spec())
+        try:
+            resolve_objective(self.objective)
+        except (KeyError, ValueError, TypeError) as error:
+            raise ValueError(
+                f"objective must be a registered objective name, a "
+                f"weighted:/multi: spec, a spec dict, or an Objective "
+                f"instance: {error}") from None
+        for attribute, allowed in (("dataflow", DATAFLOWS),
                                    ("constraint_kind", CONSTRAINT_KINDS),
                                    ("platform", PLATFORMS),
                                    ("deployment", DEPLOYMENTS)):
@@ -122,6 +147,11 @@ class SearchSpec:
                 f"got {self.executor!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for auto)")
+        if self.dispatch_min_batch is not None \
+                and self.dispatch_min_batch < 0:
+            raise ValueError(
+                "dispatch_min_batch must be >= 0 (0 disables the "
+                "adaptive fallback, None defers to $REPRO_DISPATCH_MIN)")
 
     # ------------------------------------------------------------------
     def resolved_executor(self) -> str:
@@ -146,6 +176,20 @@ class SearchSpec:
 
         return default_workers()
 
+    def resolved_objective(self) -> Objective:
+        """The spec's objective as a resolved
+        :class:`~repro.objectives.Objective` instance."""
+        return resolve_objective(self.objective)
+
+    def resolved_dispatch_min_batch(self) -> int:
+        """The effective adaptive-dispatch threshold (spec,
+        ``$REPRO_DISPATCH_MIN``, built-in default)."""
+        if self.dispatch_min_batch is not None:
+            return self.dispatch_min_batch
+        from repro.parallel.backend import default_dispatch_min_batch
+
+        return default_dispatch_min_batch()
+
     # ------------------------------------------------------------------
     @property
     def finetune_budget(self) -> int:
@@ -165,6 +209,14 @@ class SearchSpec:
     def replace(self, **changes) -> "SearchSpec":
         """A copy with ``changes`` applied (validation re-runs)."""
         return replace(self, **changes)
+
+    def __hash__(self) -> int:
+        """Hash by canonical JSON: composite (dict) objective specs
+        would otherwise make the frozen dataclass unhashable, breaking
+        specs-as-keys dedup for exactly the richest runs.  ``sort_keys``
+        keeps the hash consistent with field equality regardless of
+        spec-dict key order."""
+        return hash(json.dumps(self.to_dict(), sort_keys=True))
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

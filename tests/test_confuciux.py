@@ -14,7 +14,7 @@ class TestConfuciuXPipeline:
                              dataflow="dla", platform="iot",
                              constraint_kind="area", seed=0,
                              cost_model=cost_model)
-        return pipeline.run(global_epochs=60, finetune_generations=25)
+        return pipeline._run(global_epochs=60, finetune_generations=25)
 
     def test_finds_feasible(self, result):
         assert result.best_cost is not None
@@ -51,7 +51,7 @@ class TestConfiguration:
     def test_skip_finetune(self, cost_model, mobilenet_slice):
         pipeline = ConfuciuX(mobilenet_slice, seed=0, platform="cloud",
                              cost_model=cost_model)
-        result = pipeline.run(global_epochs=15, finetune_generations=0)
+        result = pipeline._run(global_epochs=15, finetune_generations=0)
         assert result.finetune_result is None
         assert result.best_cost == result.global_cost
 
@@ -60,7 +60,7 @@ class TestConfiguration:
                                         platform="custom")
         pipeline = ConfuciuX(mobilenet_slice, constraint=constraint, seed=0,
                              cost_model=cost_model)
-        result = pipeline.run(global_epochs=10, finetune_generations=0)
+        result = pipeline._run(global_epochs=10, finetune_generations=0)
         assert result.best_cost is not None
 
     def test_resource_constraint_fpga_mode(self, cost_model,
@@ -68,7 +68,7 @@ class TestConfiguration:
         constraint = ResourceConstraint(max_pes=256, max_l1_bytes=16384)
         pipeline = ConfuciuX(mobilenet_slice, constraint=constraint, seed=0,
                              cost_model=cost_model)
-        result = pipeline.run(global_epochs=30, finetune_generations=10)
+        result = pipeline._run(global_epochs=30, finetune_generations=10)
         assert result.best_cost is not None
         total_pes = sum(a[0] for a in result.best_assignments)
         total_l1 = sum(a[0] * a[1] for a in result.best_assignments)
@@ -78,53 +78,61 @@ class TestConfiguration:
     def test_mlp_policy_option(self, cost_model, mobilenet_slice):
         pipeline = ConfuciuX(mobilenet_slice, policy="mlp", seed=0,
                              platform="cloud", cost_model=cost_model)
-        result = pipeline.run(global_epochs=15, finetune_generations=0)
+        result = pipeline._run(global_epochs=15, finetune_generations=0)
         assert result.best_cost is not None
 
     @pytest.mark.parametrize("levels", [10, 14])
     def test_action_level_sweep(self, cost_model, mobilenet_slice, levels):
         pipeline = ConfuciuX(mobilenet_slice, num_levels=levels, seed=0,
                              platform="cloud", cost_model=cost_model)
-        result = pipeline.run(global_epochs=15, finetune_generations=0)
+        result = pipeline._run(global_epochs=15, finetune_generations=0)
         assert result.best_cost is not None
 
     @pytest.mark.parametrize("objective", ["energy", "edp"])
     def test_other_objectives(self, cost_model, mobilenet_slice, objective):
         pipeline = ConfuciuX(mobilenet_slice, objective=objective, seed=0,
                              platform="cloud", cost_model=cost_model)
-        result = pipeline.run(global_epochs=15, finetune_generations=0)
+        result = pipeline._run(global_epochs=15, finetune_generations=0)
         assert result.best_cost is not None
 
     def test_power_constraint(self, cost_model, mobilenet_slice):
         pipeline = ConfuciuX(mobilenet_slice, constraint_kind="power",
                              platform="iot", seed=0, cost_model=cost_model)
-        result = pipeline.run(global_epochs=100, finetune_generations=0)
+        result = pipeline._run(global_epochs=100, finetune_generations=0)
         assert result.best_cost is not None
 
 
-class TestRunDeprecationShim:
-    """``ConfuciuX.run`` is a warning shim over ``repro.explore``; pin
-    both halves of that contract so the shim can eventually be removed
-    with confidence: it must *warn*, and it must stay bit-identical to
-    the session path it forwards to."""
+class TestRunShimRemoval:
+    """The deprecated ``ConfuciuX.run`` shim is gone (1.1 warned, 1.3
+    removed).  Three guarantees remain: calling it raises *guidance*
+    (never a bare AttributeError), the internal driver the session API
+    uses stays warning-free, and that driver is bit-identical to the
+    session path -- so nothing was lost with the shim."""
 
-    def test_run_emits_deprecation_warning(self, cost_model,
-                                           mobilenet_slice):
+    def test_run_raises_guidance_not_attribute_error(self, cost_model,
+                                                     mobilenet_slice):
         pipeline = ConfuciuX(mobilenet_slice, seed=0, cost_model=cost_model)
-        with pytest.warns(DeprecationWarning,
-                          match=r"ConfuciuX\.run\(\) is deprecated"):
+        with pytest.raises(RuntimeError,
+                           match=r"repro\.explore.*method='confuciux'"):
             pipeline.run(global_epochs=2, finetune_generations=0)
+        # Specifically never an AttributeError: the attribute exists and
+        # its error names the replacement.
+        try:
+            pipeline.run()
+        except AttributeError:  # pragma: no cover - the regression
+            pytest.fail("ConfuciuX.run must give guidance, not vanish")
+        except RuntimeError:
+            pass
 
-    def test_run_matches_explore_bit_for_bit(self, cost_model):
+    def test_internal_run_matches_explore_bit_for_bit(self, cost_model):
         import repro
 
         epochs, finetune, seed, layers = 10, 4, 21, 4
         pipeline = ConfuciuX(
             repro.get_model("mobilenet_v2")[:layers], seed=seed,
             platform="iot", cost_model=cost_model)
-        with pytest.warns(DeprecationWarning):
-            legacy = pipeline.run(global_epochs=epochs,
-                                  finetune_generations=finetune)
+        legacy = pipeline._run(global_epochs=epochs,
+                               finetune_generations=finetune)
         modern = repro.explore(model="mobilenet_v2", method="confuciux",
                                budget=epochs, finetune=finetune, seed=seed,
                                platform="iot", layer_slice=layers,
@@ -170,7 +178,7 @@ class TestJointSearch:
                                           mobilenet_slice):
         pipeline = ConfuciuX(mobilenet_slice, seed=0, platform="cloud",
                              cost_model=cost_model)
-        result = pipeline.run(global_epochs=10, finetune_generations=0)
+        result = pipeline._run(global_epochs=10, finetune_generations=0)
         with pytest.raises(ValueError, match="MIX"):
             dataflow_assignment_table(result, mobilenet_slice)
 
@@ -183,7 +191,7 @@ class TestJointSearch:
             pipeline = ConfuciuX(mobilenet_slice, dataflow=style,
                                  platform="iot", seed=0,
                                  cost_model=cost_model)
-            fixed = pipeline.run(global_epochs=60, finetune_generations=0)
+            fixed = pipeline._run(global_epochs=60, finetune_generations=0)
             if fixed.best_cost is not None:
                 fixed_costs.append(fixed.best_cost)
         search = JointSearch(mobilenet_slice, platform="iot", seed=0,

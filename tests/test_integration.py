@@ -19,7 +19,7 @@ class TestFullPipelines:
         layers = get_model("mobilenet_v2")[:8]
         pipeline = ConfuciuX(layers, dataflow=dataflow, platform="iot",
                              seed=0, cost_model=shared_cost_model)
-        result = pipeline.run(global_epochs=50, finetune_generations=15)
+        result = pipeline._run(global_epochs=50, finetune_generations=15)
         assert result.best_cost is not None
         util = result.utilization()
         assert util.used <= util.budget
@@ -29,7 +29,7 @@ class TestFullPipelines:
         layers = get_model(model)[:8]
         pipeline = ConfuciuX(layers, platform="cloud", seed=0,
                              cost_model=shared_cost_model)
-        result = pipeline.run(global_epochs=40, finetune_generations=10)
+        result = pipeline._run(global_epochs=40, finetune_generations=10)
         assert result.best_cost is not None
 
     def test_tighter_constraints_cost_more(self, shared_cost_model):
@@ -39,7 +39,7 @@ class TestFullPipelines:
         for platform in ("cloud", "iot"):
             pipeline = ConfuciuX(layers, platform=platform, seed=0,
                                  cost_model=shared_cost_model)
-            result = pipeline.run(global_epochs=80, finetune_generations=30)
+            result = pipeline._run(global_epochs=80, finetune_generations=30)
             costs[platform] = result.best_cost
         assert costs["iot"] >= costs["cloud"] * 0.95
 

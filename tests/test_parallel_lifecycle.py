@@ -35,8 +35,11 @@ def _orphan_workers():
 
 
 def _spec(**overrides) -> SearchSpec:
+    # dispatch_min_batch=0: lifecycle tests are about worker ownership,
+    # so the small test batches must actually reach the workers.
     base = dict(model="mobilenet_v2", method="ga", budget=60, seed=3,
-                layer_slice=4, executor="process", workers=2)
+                layer_slice=4, executor="process", workers=2,
+                dispatch_min_batch=0)
     base.update(overrides)
     return SearchSpec(**base)
 

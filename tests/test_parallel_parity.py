@@ -46,9 +46,13 @@ def _spec(method: str, executor: str, workers: int) -> SearchSpec:
         budget, finetune = _BUDGETS["two-stage"]
     else:
         budget, finetune = _BUDGETS["genome"], None
+    # dispatch_min_batch=0 forces sharding: the matrix must exercise the
+    # workers even for the small test batches the adaptive fallback
+    # would otherwise keep in-process.
     return SearchSpec(model="mobilenet_v2", method=method, budget=budget,
                       finetune=finetune, seed=11, layer_slice=4,
-                      executor=executor, workers=workers)
+                      executor=executor, workers=workers,
+                      dispatch_min_batch=0)
 
 
 def _comparable(session_result) -> dict:

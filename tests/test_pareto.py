@@ -1,0 +1,341 @@
+"""Pareto machinery: the non-dominated sort, the archive, pareto-ga, and
+the adaptive-dispatch satellite.
+
+The sort is property-tested (duplicates, single points, all-dominated
+chains, random clouds); the GA is pinned on registration, front
+reproducibility for fixed seeds, mutual non-domination, and JSON
+round-tripping through :class:`~repro.search.session.SessionResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.objectives import (
+    ParetoArchive,
+    crowding_distance,
+    domination_matrix,
+    non_dominated_mask,
+    non_dominated_sort,
+)
+from repro.search import SearchSession, SearchSpec, get_method
+
+# ----------------------------------------------------------------------
+# Non-dominated sort properties
+# ----------------------------------------------------------------------
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   width=32)
+
+
+@st.composite
+def value_matrices(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    k = draw(st.integers(min_value=1, max_value=4))
+    rows = draw(st.lists(
+        st.lists(finite, min_size=k, max_size=k),
+        min_size=n, max_size=n))
+    return np.array(rows, dtype=np.float64).reshape(n, k)
+
+
+def _dominates(a, b) -> bool:
+    return bool((a <= b).all() and (a < b).any())
+
+
+@settings(max_examples=120, deadline=None)
+@given(values=value_matrices())
+def test_front_zero_is_exactly_the_non_dominated_set(values):
+    ranks = non_dominated_sort(values)
+    mask = non_dominated_mask(values)
+    assert len(ranks) == len(mask) == len(values)
+    np.testing.assert_array_equal(ranks == 0, mask)
+
+
+@settings(max_examples=120, deadline=None)
+@given(values=value_matrices())
+def test_ranks_are_consistent_with_pairwise_domination(values):
+    """No point is dominated by a point of the same or a later rank, and
+    every point of rank r > 0 is dominated by some rank r-1 point."""
+    ranks = non_dominated_sort(values)
+    n = len(values)
+    for i in range(n):
+        for j in range(n):
+            if _dominates(values[i], values[j]):
+                assert ranks[i] < ranks[j]
+    for j in range(n):
+        if ranks[j] > 0:
+            assert any(_dominates(values[i], values[j])
+                       and ranks[i] == ranks[j] - 1
+                       for i in range(n))
+
+
+@settings(max_examples=80, deadline=None)
+@given(values=value_matrices(), data=st.data())
+def test_duplicates_share_a_rank(values, data):
+    """Exact duplicates never dominate each other: duplicating any row
+    keeps both copies on one rank."""
+    if len(values) == 0:
+        return
+    row = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+    doubled = np.vstack([values, values[row]])
+    ranks = non_dominated_sort(doubled)
+    assert ranks[row] == ranks[-1]
+
+
+def test_single_point_and_empty():
+    assert non_dominated_sort(np.empty((0, 3))).tolist() == []
+    assert non_dominated_mask(np.empty((0, 2))).tolist() == []
+    single = np.array([[3.0, 4.0]])
+    assert non_dominated_sort(single).tolist() == [0]
+    assert non_dominated_mask(single).tolist() == [True]
+    assert crowding_distance(single).tolist() == [np.inf]
+
+
+def test_all_dominated_chain_ranks_sequentially():
+    """A strictly worsening chain peels one front per point."""
+    chain = np.array([[i, i] for i in range(6)], dtype=np.float64)
+    assert non_dominated_sort(chain).tolist() == list(range(6))
+    assert non_dominated_mask(chain).tolist() == [True] + [False] * 5
+
+
+def test_domination_matrix_matches_definition():
+    values = np.array([[1.0, 2.0], [2.0, 1.0], [2.0, 2.0], [1.0, 2.0]])
+    matrix = domination_matrix(values)
+    for i in range(len(values)):
+        for j in range(len(values)):
+            assert matrix[i, j] == _dominates(values[i], values[j])
+
+
+def test_infeasible_inf_rows_fall_behind_feasible_points():
+    values = np.array([[1.0, 2.0], [np.inf, np.inf], [np.inf, np.inf]])
+    ranks = non_dominated_sort(values)
+    assert ranks[0] == 0
+    assert ranks[1] == ranks[2] == 1
+
+
+def test_crowding_boundary_points_are_infinite():
+    values = np.array([[0.0, 3.0], [1.0, 1.0], [2.0, 0.5], [3.0, 0.0]])
+    crowding = crowding_distance(values)
+    assert crowding[0] == np.inf and crowding[-1] == np.inf
+    assert np.all(crowding[1:-1] > 0) and np.all(np.isfinite(crowding[1:-1]))
+
+
+class TestParetoArchive:
+    def test_keeps_only_non_dominated_and_dedupes(self):
+        archive = ParetoArchive()
+        assert archive.add([2.0, 2.0], "a")
+        assert not archive.add([3.0, 3.0], "worse")
+        assert archive.add([1.0, 3.0], "b")
+        assert not archive.add([2.0, 2.0], "duplicate")
+        assert archive.add([0.0, 0.0], "dominates-all")
+        front = archive.front()
+        assert [payload for _, payload in front] == ["dominates-all"]
+
+    def test_max_size_prunes_most_crowded(self):
+        archive = ParetoArchive(max_size=3)
+        points = [[0.0, 4.0], [1.0, 2.9], [2.0, 2.0], [3.0, 1.5],
+                  [4.0, 0.0]]
+        for index, point in enumerate(points):
+            archive.add(point, index)
+        assert len(archive) == 3
+        payloads = {payload for _, payload in archive.front()}
+        # The extremes always survive crowding pruning.
+        assert {0, 4} <= payloads
+
+
+# ----------------------------------------------------------------------
+# The registered pareto-ga method
+# ----------------------------------------------------------------------
+def _pareto_spec(**overrides) -> SearchSpec:
+    base = dict(model="mobilenet_v2", method="pareto-ga",
+                objective="multi:latency,energy", budget=150, seed=0,
+                layer_slice=4)
+    base.update(overrides)
+    return SearchSpec(**base)
+
+
+class TestParetoGA:
+    def test_registered_and_discoverable(self):
+        info = get_method("pareto-ga")
+        assert info.kind == "genome"
+        assert info.batchable
+        assert "pareto-ga" in repro.method_names()
+
+    def test_front_is_reproducible_and_non_dominated(self):
+        first = SearchSession(_pareto_spec()).run()
+        second = SearchSession(_pareto_spec()).run()
+        front = first.pareto_front
+        assert front, "expected a non-empty front"
+        assert front == second.pareto_front
+        assert first.best_cost == second.best_cost
+        values = np.array([[p["objectives"]["latency"],
+                            p["objectives"]["energy"]] for p in front])
+        assert non_dominated_mask(values).all()
+        # Swept along the primary axis, deterministically.
+        assert values[:, 0].tolist() == sorted(values[:, 0].tolist())
+
+    def test_front_serializes_with_the_session(self, tmp_path):
+        outcome = SearchSession(_pareto_spec()).run()
+        path = tmp_path / "pareto.json"
+        outcome.save(path)
+        loaded = repro.SessionResult.load(path)
+        assert loaded.pareto_front == outcome.pareto_front
+        assert loaded.result.extra["objective_names"] \
+            == ["latency", "energy"]
+
+    def test_front_points_reevaluate_to_their_claimed_objectives(self):
+        outcome = SearchSession(_pareto_spec()).run()
+        task = outcome.spec.task()
+        cost_model = repro.CostModel()
+        evaluator = task.make_evaluator(cost_model)
+        for point in outcome.pareto_front:
+            result = evaluator.evaluate_genome(point["genome"])
+            assert result.feasible
+            assert result.report.latency_cycles \
+                == point["objectives"]["latency"]
+            assert result.report.energy_nj == point["objectives"]["energy"]
+
+    def test_scalar_objective_degenerates_to_best_point(self):
+        outcome = SearchSession(_pareto_spec(objective="latency")).run()
+        front = outcome.pareto_front
+        assert len(front) == 1
+        assert front[0]["objectives"]["latency"] == outcome.best_cost
+
+    def test_three_axis_front(self):
+        outcome = SearchSession(_pareto_spec(
+            objective="multi:latency,energy,area", budget=120)).run()
+        front = outcome.pareto_front
+        assert front
+        assert set(front[0]["objectives"]) == {"latency", "energy", "area"}
+
+    def test_tiny_budget_still_reports_a_front(self):
+        outcome = SearchSession(_pareto_spec(budget=8,
+                                             platform="cloud")).run()
+        assert outcome.result.evaluations == 8
+        assert outcome.pareto_front is not None
+
+    @pytest.mark.parametrize("budget", [37, 120])
+    def test_truncated_final_generation_still_enters_the_front(self,
+                                                               budget):
+        """Every charged evaluation counts: even when the budget cuts a
+        generation short, the front must cover those outcomes -- in
+        particular it can never be dominated by ``best_cost`` (the best
+        feasible primary component ever evaluated)."""
+        outcome = SearchSession(_pareto_spec(budget=budget,
+                                             platform="cloud")).run()
+        front = outcome.pareto_front
+        assert front
+        assert min(point["objectives"]["latency"] for point in front) \
+            == outcome.best_cost
+
+    def test_observers_and_early_stop_work(self):
+        from repro.search import EarlyStopping
+
+        stopper = EarlyStopping(patience=20)
+        outcome = SearchSession(_pareto_spec(budget=400)).run(
+            callbacks=[stopper])
+        assert outcome.stopped_early
+        assert outcome.result.evaluations < 400
+
+
+# ----------------------------------------------------------------------
+# Adaptive dispatch (satellite): small batches skip the IPC
+# ----------------------------------------------------------------------
+class TestAdaptiveDispatch:
+    def test_below_threshold_runs_inline_without_spawning(self):
+        from repro.costmodel.batched import LayerTable
+        from repro.parallel import ProcessBackend
+
+        layers = repro.get_model("mobilenet_v2")[:3]
+        table = LayerTable.build(layers)
+        model = repro.CostModel()
+        backend = ProcessBackend(workers=2, min_batch_per_worker=64)
+        try:
+            model.set_executor(backend)
+            small = model.batched.evaluate(
+                table, np.zeros(8, dtype=np.int64), 0,
+                np.full(8, 16, dtype=np.int64),
+                np.full(8, 64, dtype=np.int64))
+            assert len(small) == 8
+            assert backend.inline_batches == 1
+            assert backend.sharded_batches == 0
+            assert backend.alive_workers == 0
+            big = model.batched.evaluate(
+                table, np.zeros(256, dtype=np.int64), 0,
+                np.full(256, 16, dtype=np.int64),
+                np.full(256, 64, dtype=np.int64))
+            assert len(big) == 256
+            assert backend.sharded_batches == 1
+            assert backend.alive_workers == 2
+            # Inline and sharded answers agree with each other.
+            assert big.latency_cycles[:8].tolist() \
+                == small.latency_cycles.tolist()
+        finally:
+            backend.shutdown()
+
+    def test_threshold_zero_always_shards(self):
+        from repro.costmodel.batched import LayerTable
+        from repro.parallel import ThreadBackend
+
+        layers = repro.get_model("mobilenet_v2")[:2]
+        table = LayerTable.build(layers)
+        model = repro.CostModel()
+        backend = ThreadBackend(workers=2, min_batch_per_worker=0)
+        model.set_executor(backend)
+        report = model.batched.evaluate(
+            table, np.zeros(4, dtype=np.int64), 0,
+            np.full(4, 8, dtype=np.int64), np.full(4, 32, dtype=np.int64))
+        assert len(report) == 4
+        assert backend.sharded_batches == 1
+        backend.shutdown()
+
+    def test_spec_exposes_and_resolves_threshold(self, monkeypatch):
+        spec = SearchSpec(model="mobilenet_v2", dispatch_min_batch=17)
+        assert spec.resolved_dispatch_min_batch() == 17
+        spec = SearchSpec(model="mobilenet_v2")
+        monkeypatch.setenv("REPRO_DISPATCH_MIN", "33")
+        assert spec.resolved_dispatch_min_batch() == 33
+        monkeypatch.delenv("REPRO_DISPATCH_MIN")
+        from repro.parallel import DEFAULT_DISPATCH_MIN_BATCH
+
+        assert spec.resolved_dispatch_min_batch() \
+            == DEFAULT_DISPATCH_MIN_BATCH
+        with pytest.raises(ValueError, match="dispatch_min_batch"):
+            SearchSpec(model="mobilenet_v2", dispatch_min_batch=-1)
+
+    def test_adaptive_session_bit_identical_to_forced_sharding(self):
+        """The whole point: dispatch is a latency knob, never a results
+        knob.  One spec, three thresholds, one answer."""
+        results = []
+        for threshold in (0, 10_000, None):
+            spec = SearchSpec(model="mobilenet_v2", method="ga", budget=60,
+                              seed=3, layer_slice=4, executor="process",
+                              workers=2, dispatch_min_batch=threshold)
+            outcome = SearchSession(spec).run()
+            results.append((outcome.best_cost,
+                            outcome.result.history,
+                            outcome.result.best_genome))
+        assert results[0] == results[1] == results[2]
+
+    def test_calibration_sweep_matches_scalar_loop(self, cost_model,
+                                                   tiny_model):
+        """platform_constraint now calibrates through the batched kernel;
+        the budget must be bit-identical to the scalar per-layer loop."""
+        from repro.core.constraints import measure_max_consumption
+        from repro.env.spaces import ActionSpace
+
+        space = ActionSpace.build("dla")
+        decoded = space.decode(space.max_action())
+        pes, l1_bytes = decoded[0], decoded[1]
+        for kind in ("area", "power"):
+            want = 0.0
+            for layer in tiny_model:
+                report = cost_model.evaluate_layer(layer, "dla", pes,
+                                                   l1_bytes)
+                want += report.constraint(kind)
+            got = measure_max_consumption(tiny_model, "dla", kind,
+                                          cost_model, space)
+            assert got == want

@@ -44,7 +44,7 @@ class TestImportSurface:
                 f"{name}.{symbol} in __all__ but unresolvable"
 
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_lazy_exports(self):
         assert repro.ConfuciuX.__name__ == "ConfuciuX"
@@ -127,14 +127,23 @@ class TestDocstrings:
 class TestLegacySurface:
     """The pre-session call paths stay importable and runnable."""
 
-    def test_confuciux_run_works_but_warns(self, tiny_model, cost_model):
+    def test_confuciux_pipeline_still_constructs_and_runs(self, tiny_model,
+                                                          cost_model):
         pipeline = repro.ConfuciuX(
             tiny_model, objective="latency", dataflow="dla",
             constraint_kind="area", platform="cloud",
             cost_model=cost_model, seed=0)
-        with pytest.deprecated_call():
-            result = pipeline.run(global_epochs=5, finetune_generations=2)
+        result = pipeline._run(global_epochs=5, finetune_generations=2)
         assert result.best_cost is not None
+
+    def test_confuciux_run_shim_removed_with_guidance(self, tiny_model,
+                                                      cost_model):
+        """The deprecated ``run`` shim is gone, but calling it still
+        yields migration guidance rather than a bare AttributeError."""
+        pipeline = repro.ConfuciuX(tiny_model, platform="cloud",
+                                   cost_model=cost_model, seed=0)
+        with pytest.raises(RuntimeError, match="repro.explore"):
+            pipeline.run(global_epochs=5, finetune_generations=2)
 
     def test_direct_optimizer_construction_works(self, tiny_model,
                                                  cost_model):

@@ -122,8 +122,7 @@ class TestLegacyEquivalence:
             repro.get_model("ncf"), objective="latency", dataflow="dla",
             constraint_kind="area", platform="cloud",
             cost_model=cost_model, seed=2)
-        with pytest.deprecated_call():
-            legacy = pipeline.run(global_epochs=12, finetune_generations=3)
+        legacy = pipeline._run(global_epochs=12, finetune_generations=3)
         modern = repro.explore(model="ncf", method="confuciux", budget=12,
                                finetune=3, seed=2, platform="cloud",
                                cost_model=cost_model)

@@ -73,7 +73,7 @@ class TestConfuciuXResultSerialization:
                                tmp_path):
         pipeline = ConfuciuX(mobilenet_slice, platform="cloud", seed=0,
                              cost_model=cost_model)
-        result = pipeline.run(global_epochs=20, finetune_generations=5)
+        result = pipeline._run(global_epochs=20, finetune_generations=5)
         data = confuciux_result_to_dict(result)
         assert data["best_cost"] == result.best_cost
         assert data["constraint"]["kind"] == "area"
