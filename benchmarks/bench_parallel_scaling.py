@@ -16,10 +16,14 @@ Writes ``BENCH_parallel.json`` at the repo root::
 
 The ``break_even`` section measures the adaptive-dispatch crossover:
 the smallest batch for which sharding across 2 worker processes beats
-the in-process kernel.  ``SearchSpec.dispatch_min_batch`` /
-``$REPRO_DISPATCH_MIN`` default to the built-in
-``DEFAULT_DISPATCH_MIN_BATCH``; these numbers are how that constant is
-re-measured when the kernel or the IPC path changes.
+the in-process kernel.  ``break_even.batch`` / ``break_even.per_worker``
+record the measured crossover, or the explicit sentinel
+``"no_crossover"`` when no timed batch size shards profitably (the
+1-CPU dev container, for instance) -- never ``null``; the schema is
+asserted below so regressions in the recording fail the bench.
+``SearchSpec.dispatch_min_batch`` / ``$REPRO_DISPATCH_MIN`` default to
+the built-in ``DEFAULT_DISPATCH_MIN_BATCH``; these numbers are how that
+constant is re-measured when the kernel or the IPC path changes.
 
 Process sharding only buys wall-clock when there are cores to shard
 onto: the acceptance bar (>= 2x at 4 workers) is asserted when the
@@ -137,6 +141,13 @@ def test_parallel_scaling(save_report):
             seconds = timings[executor][str(workers)]
             rows.append([executor, str(workers), f"{seconds * 1e3:.2f} ms",
                          f"{serial_s / seconds:.2f}x"])
+    # The measured crossover, or an explicit sentinel when sharding never
+    # won -- the JSON must always say which, not degrade to null.
+    NO_CROSSOVER = "no_crossover"
+    if break_even_batch is None:
+        break_even_batch = break_even_per_worker = NO_CROSSOVER
+    else:
+        break_even_per_worker = break_even_batch // BREAK_EVEN_WORKERS
     break_even_rows = [
         [batch, f"{record['serial_s'] * 1e3:.3f} ms",
          f"{record['process_s'] * 1e3:.3f} ms",
@@ -165,11 +176,27 @@ def test_parallel_scaling(save_report):
         "break_even": {
             "sizes": break_even_sizes,
             "batch": break_even_batch,
-            "per_worker": (None if break_even_batch is None
-                           else break_even_batch // BREAK_EVEN_WORKERS),
+            "per_worker": break_even_per_worker,
             "default_min_batch_per_worker": DEFAULT_DISPATCH_MIN_BATCH,
         },
     }
+
+    # Schema: the crossover fields are an int batch size or the explicit
+    # sentinel, in lockstep -- a null here means the recording regressed.
+    break_even = payload["break_even"]
+    assert set(break_even["sizes"]) \
+        == {str(p * NUM_LAYERS) for p in BREAK_EVEN_POPULATIONS}
+    for record in break_even["sizes"].values():
+        assert isinstance(record["serial_s"], float)
+        assert isinstance(record["process_s"], float)
+    if break_even["batch"] == NO_CROSSOVER:
+        assert break_even["per_worker"] == NO_CROSSOVER
+    else:
+        assert isinstance(break_even["batch"], int)
+        assert break_even["per_worker"] \
+            == break_even["batch"] // BREAK_EVEN_WORKERS
+    assert isinstance(break_even["default_min_batch_per_worker"], int)
+
     (REPO_ROOT / "BENCH_parallel.json").write_text(
         json.dumps(payload, indent=2) + "\n")
 

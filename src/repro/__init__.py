@@ -56,7 +56,7 @@ from repro.objectives import (
 )
 from repro.models import Layer, LayerType, get_model, list_models
 from repro.costmodel import CostModel, HardwareConfig
-from repro.env import ActionSpace, HWAssignmentEnv
+from repro.env import ActionSpace, HWAssignmentEnv, VectorHWAssignmentEnv
 from repro.core.constraints import (
     PlatformConstraint,
     ResourceConstraint,
@@ -83,7 +83,7 @@ from repro.search import (
 )
 from repro.parallel import ParallelCoordinator, make_backend
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Layer",
@@ -94,6 +94,7 @@ __all__ = [
     "HardwareConfig",
     "ActionSpace",
     "HWAssignmentEnv",
+    "VectorHWAssignmentEnv",
     "PlatformConstraint",
     "ResourceConstraint",
     "platform_constraint",

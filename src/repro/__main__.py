@@ -131,6 +131,7 @@ def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
             executor=args.executor,
             workers=args.workers,
             dispatch_min_batch=args.dispatch_min_batch,
+            envs=args.envs,
         )
     except ValueError as error:
         # Free-form spec fields (--objective most of all) are validated
@@ -305,6 +306,12 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                              "elements per worker run in-process "
                              "(default: $REPRO_DISPATCH_MIN or the "
                              "measured break-even; 0 always shards)")
+    parser.add_argument("--envs", type=int, default=None,
+                        help="lockstep episodes per wave for episodic-RL "
+                             "methods (default: $REPRO_ENVS or 1; 1 is "
+                             "bit-identical to scalar stepping, >1 is a "
+                             "faster, reproducible scenario -- see "
+                             "BENCH_rl.json)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -95,6 +95,9 @@ class DesignPointEvaluator:
         self.dataflow = dataflow
         self.deployment = deployment
         self.evaluations = 0
+        #: Population evaluations served by the duplicate-row memo
+        #: instead of the kernel (see ``_evaluate_population_arrays``).
+        self.cache_hits = 0
         self._table: Optional[LayerTable] = None
 
     # ------------------------------------------------------------------
@@ -249,7 +252,18 @@ class DesignPointEvaluator:
     def _evaluate_population_arrays(
         self, pes: np.ndarray, l1_bytes: np.ndarray, style_idx: np.ndarray
     ) -> List[EvalResult]:
-        """Shared batched core: (G, N) design arrays -> per-genome results."""
+        """Shared batched core: (G, N) design arrays -> per-genome results.
+
+        Identical design points -- common under elitism, low mutation
+        rates, and two-stage re-probes -- are deduplicated before kernel
+        dispatch (``np.unique`` over the decoded rows) and the unique
+        results scattered back, so duplicates never reach the estimator
+        or an installed parallel backend.  The kernel is elementwise per
+        row, so the returned costs, flags, and budgets are bit-identical
+        either way; served duplicates are counted on :attr:`cache_hits`
+        while :attr:`evaluations` keeps charging the full population
+        (the budget currency every method spends).
+        """
         population, num_layers = pes.shape
         self.evaluations += population
         if self._table is None:
@@ -260,6 +274,43 @@ class DesignPointEvaluator:
             pes = np.repeat(pes[:, :1], num_layers, axis=1)
             l1_bytes = np.repeat(l1_bytes[:, :1], num_layers, axis=1)
             style_idx = np.repeat(style_idx[:, :1], num_layers, axis=1)
+        if population > 1:
+            design = np.concatenate((pes, l1_bytes, style_idx), axis=1)
+            # Cheap pre-check: equal rows hash equal, so a fully-unique
+            # hash vector proves there is nothing to dedup without
+            # paying the row-sort (wrapping int64 overflow is fine --
+            # collisions only cost the full check below).
+            mixer = self._row_mixer(design.shape[1])
+            hashes = design @ mixer
+            if len(np.unique(hashes)) == population:
+                return self._evaluate_unique_rows(pes, l1_bytes, style_idx)
+            unique, inverse = np.unique(design, axis=0, return_inverse=True)
+            if len(unique) < population:
+                self.cache_hits += population - len(unique)
+                results = self._evaluate_unique_rows(
+                    np.ascontiguousarray(unique[:, :num_layers]),
+                    np.ascontiguousarray(
+                        unique[:, num_layers:2 * num_layers]),
+                    np.ascontiguousarray(unique[:, 2 * num_layers:]))
+                return [results[i] for i in inverse.reshape(-1).tolist()]
+        return self._evaluate_unique_rows(pes, l1_bytes, style_idx)
+
+    def _row_mixer(self, width: int) -> np.ndarray:
+        """A fixed random int64 vector hashing design rows (seeded, so
+        dedup behavior is deterministic across runs)."""
+        mixer = getattr(self, "_mixer", None)
+        if mixer is None or len(mixer) != width:
+            mixer = np.random.default_rng(0x5EED).integers(
+                np.iinfo(np.int64).min, np.iinfo(np.int64).max,
+                size=width, dtype=np.int64)
+            self._mixer = mixer
+        return mixer
+
+    def _evaluate_unique_rows(
+        self, pes: np.ndarray, l1_bytes: np.ndarray, style_idx: np.ndarray
+    ) -> List[EvalResult]:
+        """Kernel dispatch and constraint checks for deduplicated rows."""
+        population, num_layers = pes.shape
         layer_idx = np.tile(np.arange(num_layers, dtype=np.int64),
                             population)
         batch = self.cost_model.batched.evaluate(

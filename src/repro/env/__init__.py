@@ -10,6 +10,7 @@ episode reward (equation 2).
 from repro.env.spaces import ActionSpace, canonical_pe_levels
 from repro.env.observation import ObservationEncoder, OBSERVATION_DIM
 from repro.env.environment import EpisodeResult, HWAssignmentEnv
+from repro.env.vector import VectorHWAssignmentEnv
 
 __all__ = [
     "ActionSpace",
@@ -18,4 +19,5 @@ __all__ = [
     "OBSERVATION_DIM",
     "HWAssignmentEnv",
     "EpisodeResult",
+    "VectorHWAssignmentEnv",
 ]

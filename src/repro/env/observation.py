@@ -92,6 +92,37 @@ class ObservationEncoder:
             observation[7:9] = np.clip(acted, -1.0, 1.0)
         return observation
 
+    def encode_batch(self, layer: Layer, step: int,
+                     prev_actions: Optional[np.ndarray] = None,
+                     count: Optional[int] = None) -> np.ndarray:
+        """O_t for many lockstep episodes at one ``(layer, step)``.
+
+        The per-(layer, step) template is tiled into an ``(E, 10)``
+        matrix and only the two action slots are filled per row, so a
+        whole wave of observations is one array fill instead of E
+        :meth:`encode` calls.  Row ``e`` is bit-identical to
+        ``encode(layer, step, prev_actions[e])``.
+
+        Args:
+            layer: The (shared) current layer of the wave.
+            step: The (shared) time-step index of the wave.
+            prev_actions: ``(E, >=2)`` previous level indices, or ``None``
+                for the t=0 sentinel (both action slots at -1).
+            count: Number of rows when ``prev_actions`` is ``None``.
+        """
+        if prev_actions is None:
+            if count is None:
+                raise ValueError(
+                    "encode_batch needs prev_actions or an explicit count")
+            return np.tile(self._template(layer, step), (count, 1))
+        prev_actions = np.asarray(prev_actions)
+        observations = np.tile(self._template(layer, step),
+                               (len(prev_actions), 1))
+        top = max(self.space.num_levels - 1, 1)
+        acted = 2.0 * prev_actions[:, :2].astype(np.float64) / top - 1.0
+        observations[:, 7:9] = np.clip(acted, -1.0, 1.0)
+        return observations
+
     def encode_all(self, layers: Sequence[Layer]) -> List[np.ndarray]:
         """Shape-only encodings for every layer (used by the critic study,
         which regresses rewards from states without an action history)."""

@@ -51,6 +51,7 @@ def compare_methods(
     executor: Optional[str] = None,
     workers: Optional[int] = None,
     dispatch_min_batch: Optional[int] = None,
+    envs: int = 1,
 ) -> Dict[str, SearchResult]:
     """Run every method on ``task`` for ``epochs`` and collect results.
 
@@ -66,7 +67,10 @@ def compare_methods(
     returning.  Results are bit-identical to the serial grid.
     ``dispatch_min_batch`` tunes the adaptive in-process fallback for
     small batches (``None`` resolves ``$REPRO_DISPATCH_MIN`` / the
-    measured default; 0 always shards).
+    measured default; 0 always shards).  ``envs`` rolls the episodic-RL
+    methods as that many lockstep episodes per wave (one batched cost
+    call per layer step); unlike the executor knobs, ``envs > 1``
+    changes which episodes are sampled (reproducibly per seed).
     """
     from repro.search.session import SessionContext, run_method
 
@@ -86,7 +90,7 @@ def compare_methods(
             info = get_method(name)
             context = SessionContext(task=task, budget=epochs, seed=seed,
                                      cost_model=cost_model,
-                                     constraint=constraint)
+                                     constraint=constraint, envs=envs)
             results[name] = run_method(info, context)
     finally:
         if backend is not None:

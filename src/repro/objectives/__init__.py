@@ -16,6 +16,9 @@ search sessions:
 * :class:`~repro.objectives.base.MultiObjective` plus the vectorized
   non-dominated-sort / :class:`~repro.objectives.pareto.ParetoArchive`
   utilities behind the ``pareto-ga`` search method.
+* :mod:`~repro.objectives.presets` -- named deployment scenarios
+  (``battery-life``, ``sla``) built from the penalty grammar, whose
+  names round-trip as their specs.
 
 Legacy names stay bit-identical to the pre-refactor string paths.
 """
@@ -46,6 +49,7 @@ from repro.objectives.registry import (
     resolve_objective,
     unregister_objective,
 )
+from repro.objectives.presets import BatteryLifeObjective, SlaObjective
 
 __all__ = [
     "COMPONENT_ORDER",
@@ -63,6 +67,8 @@ __all__ = [
     "objective_spec",
     "objective_label",
     "objective_cost_label",
+    "BatteryLifeObjective",
+    "SlaObjective",
     "ParetoArchive",
     "domination_matrix",
     "non_dominated_mask",

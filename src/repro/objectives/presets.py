@@ -1,0 +1,91 @@
+"""Named deployment-scenario objectives (ROADMAP follow-on to PR 4).
+
+A scenario preset is a penalty-augmented objective with a memorable name
+and documented default caps, registered like any other objective, so it
+is reachable from ``SearchSpec.objective``, ``repro.explore``, and the
+CLI's ``--objective`` -- and its *name* is its JSON spec, so specs and
+session results round-trip exactly:
+
+========================  =============================================
+``"battery-life"``        minimize **energy**, leaning away from big
+                          dies: ``energy + w * max(0, area - cap)``
+``"sla"``                 minimize **latency** under a soft power cap:
+                          ``latency + w * max(0, power - cap)``
+========================  =============================================
+
+The default caps sit at the Table-II IoT scale (about 10% of a
+full-model C_max measured at the maximum action pair: ~1e7 um^2 of area,
+~5e3 mW of power); the weights convert one unit of excess into the
+objective's own currency steeply enough that the search treats the cap
+as a strong preference rather than a cliff.  Custom caps are ordinary
+constructor arguments -- a customized preset serializes as an explicit
+penalty spec dict instead of the bare name, keeping round-trips exact.
+"""
+
+from __future__ import annotations
+
+from repro.objectives.base import ComponentObjective, PenaltyObjective
+from repro.objectives.registry import register_objective
+
+__all__ = ["BatteryLifeObjective", "SlaObjective"]
+
+
+class _PresetObjective(PenaltyObjective):
+    """A named penalty preset whose spec is its registry name while the
+    caps are at their documented defaults (customized instances fall
+    back to the explicit penalty-dict spec)."""
+
+    preset_name = "preset"
+    base_component = "latency"
+    default_limit_on = "area"
+    default_limit = 0.0
+    default_weight = 1.0
+
+    def __init__(self, limit: float = None, weight: float = None) -> None:
+        limit = self.default_limit if limit is None else float(limit)
+        weight = self.default_weight if weight is None else float(weight)
+        super().__init__(base=ComponentObjective(self.base_component),
+                         limit_on=self.default_limit_on,
+                         limit=limit, weight=weight)
+        self._is_default = (limit == self.default_limit
+                            and weight == self.default_weight)
+        if self._is_default:
+            self.name = self.preset_name
+
+    def spec(self):
+        if self._is_default:
+            return self.preset_name
+        return super().spec()
+
+
+class BatteryLifeObjective(_PresetObjective):
+    """``battery-life``: energy first, with a soft area penalty.
+
+    Battery-powered deployments buy energy efficiency with silicon, but
+    only up to a point: above ``limit`` um^2 every extra um^2 costs
+    ``weight`` nJ of objective value.
+    """
+
+    preset_name = "battery-life"
+    base_component = "energy"
+    default_limit_on = "area"
+    default_limit = 1.0e7    # ~Table-II IoT area budget (um^2)
+    default_weight = 1.0     # 1 nJ per um^2 of excess
+
+
+class SlaObjective(_PresetObjective):
+    """``sla``: latency first, under a soft power cap.
+
+    Latency-bound serving with a thermal/power envelope: above ``limit``
+    mW every extra mW costs ``weight`` cycles of objective value.
+    """
+
+    preset_name = "sla"
+    base_component = "latency"
+    default_limit_on = "power"
+    default_limit = 5.0e3    # ~Table-II IoT power budget (mW)
+    default_weight = 1.0e3   # 1000 cycles per mW of excess
+
+
+register_objective("battery-life", BatteryLifeObjective)
+register_objective("sla", SlaObjective)

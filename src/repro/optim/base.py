@@ -46,11 +46,15 @@ class GenomeOptimizer:
         self._spent = 0
         self._result = SearchResult(algorithm=self.name)
         started = time.perf_counter()
+        hits_before = getattr(evaluator, "cache_hits", 0)
         self._run()
         result = self._result
         result.wall_time_s = time.perf_counter() - started
         result.evaluations = self._spent
         result.episodes = self._spent
+        # Duplicate candidates the evaluator's population memo served
+        # without re-hitting the estimator during this search.
+        result.cache_hits = getattr(evaluator, "cache_hits", 0) - hits_before
         return result
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.env.environment import HWAssignmentEnv
-from repro.nn.autograd import Tensor
+from repro.nn.autograd import Tensor, no_grad
 from repro.nn.functional import mse_loss
 from repro.nn.modules import MLP
 from repro.nn.optim import Adam, clip_grad_norm
@@ -23,7 +23,10 @@ from repro.rl.common import (
     SearchAlgorithm,
     SearchResult,
     discounted_returns,
+    drive_wave_sets,
+    rollout_waves,
     standardize,
+    waves_to_trajectories,
 )
 from repro.rl.policies import MLPPolicy
 
@@ -73,15 +76,57 @@ class A2C(SearchAlgorithm):
             rewards.append(reward)
         return np.array(observations), actions, rewards
 
+    def _act_wave(self, observations: np.ndarray):
+        """One batched policy forward for a whole lockstep wave (no
+        graph: the update recomputes its own forward)."""
+        with no_grad():
+            dists, _ = self.policy(Tensor(observations), None)
+            actions = np.stack([d.sample(self.rng) for d in dists], axis=1)
+        return actions, None
+
+    def _collect_vector(self, venv, episodes: int):
+        """Sample ``episodes`` lockstep episodes; one cost-model batch
+        and one policy forward per wave.  For a single episode the
+        sampled actions, rewards, and RNG stream are bit-identical to
+        :meth:`_collect`."""
+        waves = rollout_waves(venv, episodes, self._act_wave)
+        return waves_to_trajectories(waves, episodes)
+
     def _precondition(self) -> None:
         """Hook for ACKTR's trust-region scaling (no-op for plain A2C)."""
 
     def update(self, observations: np.ndarray, actions: List[List[int]],
                rewards: List[float]) -> float:
+        """One actor-critic step over a single episode."""
         returns = standardize(discounted_returns(rewards, self.discount))
+        return self._update_arrays(observations, actions, returns)
+
+    def update_wave(self, trajectories) -> float:
+        """One actor-critic step over a wave of lockstep episodes.
+
+        The wave is the minibatch -- the synchronous-A2C convention:
+        per-episode discounted returns (standardized per episode, the
+        scalar rule) are concatenated and a single forward/backward
+        serves every episode.  For a one-episode wave this is exactly
+        :meth:`update`.
+        """
+        observations = np.concatenate(
+            [np.array(trajectory.observations)
+             for trajectory in trajectories])
+        actions = [action for trajectory in trajectories
+                   for action in trajectory.actions]
+        returns = np.concatenate(
+            [standardize(discounted_returns(trajectory.rewards,
+                                            self.discount))
+             for trajectory in trajectories])
+        return self._update_arrays(observations, actions, returns)
+
+    def _update_arrays(self, observations: np.ndarray,
+                       actions: List[List[int]],
+                       returns: np.ndarray) -> float:
         obs_tensor = Tensor(observations)
         dists, _ = self.policy(obs_tensor, None)
-        values = self.critic(obs_tensor).reshape(len(rewards))
+        values = self.critic(obs_tensor).reshape(len(returns))
         returns_tensor = Tensor(returns)
         advantages = Tensor(returns - values.numpy())
 
@@ -112,10 +157,16 @@ class A2C(SearchAlgorithm):
         result, started = self._start(self.name)
         if self.policy is None:
             self._build(env)
-        for _ in range(epochs):
-            observations, actions, rewards = self._collect(env)
-            self.update(observations, actions, rewards)
-            result.record(env.best.cost if env.best else None)
+        if getattr(env, "is_vector", False):
+            drive_wave_sets(
+                env, epochs, result,
+                lambda episodes: self.update_wave(
+                    self._collect_vector(env, episodes)))
+        else:
+            for _ in range(epochs):
+                observations, actions, rewards = self._collect(env)
+                self.update(observations, actions, rewards)
+                result.record(env.best.cost if env.best else None)
         self._finalize(result, env, started)
         result.memory_bytes = 8 * (self.policy.num_parameters()
                                    + self.critic.num_parameters())

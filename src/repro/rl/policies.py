@@ -41,8 +41,9 @@ class RecurrentPolicy(Module):
     def is_recurrent(self) -> bool:
         return True
 
-    def initial_state(self) -> Tuple[Tensor, Tensor]:
-        return self.cell.initial_state(batch=1)
+    def initial_state(self, batch: int = 1) -> Tuple[Tensor, Tensor]:
+        """Zero state for ``batch`` lockstep episodes (1 = scalar)."""
+        return self.cell.initial_state(batch=batch)
 
     def forward(self, obs: Tensor,
                 state: Tuple[Tensor, Tensor]
@@ -70,7 +71,7 @@ class MLPPolicy(Module):
     def is_recurrent(self) -> bool:
         return False
 
-    def initial_state(self) -> None:
+    def initial_state(self, batch: int = 1) -> None:
         return None
 
     def forward(self, obs: Tensor, state=None

@@ -22,7 +22,10 @@ from repro.rl.common import (
     SearchAlgorithm,
     SearchResult,
     discounted_returns,
+    drive_wave_sets,
+    rollout_waves,
     standardize,
+    waves_to_trajectories,
 )
 from repro.rl.policies import MLPPolicy
 
@@ -85,6 +88,34 @@ class PPO2(SearchAlgorithm):
         return (np.array(observations), actions, rewards,
                 np.array(old_log_probs))
 
+    def _act_wave(self, observations: np.ndarray):
+        """Batched action sampling plus behavior log-probs for a wave."""
+        with no_grad():
+            dists, _ = self.policy(Tensor(observations), None)
+            actions = np.stack([d.sample(self.rng) for d in dists], axis=1)
+            log_probs = None
+            for head, dist in enumerate(dists):
+                head_logp = dist.log_prob(actions[:, head]).numpy()
+                log_probs = head_logp if log_probs is None \
+                    else log_probs + head_logp
+        return actions, log_probs
+
+    def _collect_vector(self, venv, episodes: int):
+        """Lockstep episode collection (one cost batch per wave); each
+        trajectory additionally carries its behavior log-probabilities.
+        Bit-identical to :meth:`_collect` for a single episode."""
+        waves = rollout_waves(venv, episodes, self._act_wave)
+        trajectories = waves_to_trajectories(waves, episodes)
+        collected = []
+        for trajectory in trajectories:
+            old_log_probs = np.array([
+                float(waves[wave].extras[row])
+                for wave, row in trajectory.rows])
+            collected.append((np.array(trajectory.observations),
+                              trajectory.actions, trajectory.rewards,
+                              old_log_probs))
+        return collected
+
     def _surrogate_loss(self, observations, actions, old_log_probs,
                         advantages, returns) -> Tensor:
         obs_tensor = Tensor(observations)
@@ -113,10 +144,44 @@ class PPO2(SearchAlgorithm):
                 - self.entropy_coef * entropies.mean())
 
     def update(self, observations, actions, rewards, old_log_probs) -> float:
+        """Clipped-surrogate passes over a single collected episode."""
         returns = standardize(discounted_returns(rewards, self.discount))
         with no_grad():
             values = self.critic(Tensor(observations)).numpy().reshape(-1)
         advantages = standardize(returns - values)
+        return self._update_passes(observations, actions, old_log_probs,
+                                   advantages, returns)
+
+    def update_wave(self, collected) -> float:
+        """Clipped-surrogate passes over a wave of lockstep episodes.
+
+        The wave is the rollout batch -- the standard vectorized-PPO
+        convention: returns and advantages are computed (and
+        standardized) per episode exactly as the scalar rule does, then
+        concatenated so the minibatched update passes shuffle across the
+        whole wave.  For a one-episode wave this is exactly
+        :meth:`update`.
+        """
+        observations = np.concatenate([c[0] for c in collected])
+        actions = [action for c in collected for action in c[1]]
+        old_log_probs = np.concatenate([c[3] for c in collected])
+        returns = np.concatenate(
+            [standardize(discounted_returns(c[2], self.discount))
+             for c in collected])
+        with no_grad():
+            values = self.critic(Tensor(observations)).numpy().reshape(-1)
+        advantages = np.empty_like(returns)
+        offset = 0
+        for c in collected:
+            steps = len(c[2])
+            chunk = slice(offset, offset + steps)
+            advantages[chunk] = standardize(returns[chunk] - values[chunk])
+            offset += steps
+        return self._update_passes(observations, actions, old_log_probs,
+                                   advantages, returns)
+
+    def _update_passes(self, observations, actions, old_log_probs,
+                       advantages, returns) -> float:
         count = len(actions)
         last_loss = 0.0
         for _ in range(self.update_epochs):
@@ -143,11 +208,17 @@ class PPO2(SearchAlgorithm):
         result, started = self._start(self.name)
         if self.policy is None:
             self._build(env)
-        for _ in range(epochs):
-            observations, actions, rewards, old_log_probs = \
-                self._collect(env)
-            self.update(observations, actions, rewards, old_log_probs)
-            result.record(env.best.cost if env.best else None)
+        if getattr(env, "is_vector", False):
+            drive_wave_sets(
+                env, epochs, result,
+                lambda episodes: self.update_wave(
+                    self._collect_vector(env, episodes)))
+        else:
+            for _ in range(epochs):
+                observations, actions, rewards, old_log_probs = \
+                    self._collect(env)
+                self.update(observations, actions, rewards, old_log_probs)
+                result.record(env.best.cost if env.best else None)
         self._finalize(result, env, started)
         result.memory_bytes = 8 * (self.policy.num_parameters()
                                    + self.critic.num_parameters())

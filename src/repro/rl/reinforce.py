@@ -20,6 +20,7 @@ from repro.nn.optim import Adam, clip_grad_norm
 from repro.rl.common import (
     SearchAlgorithm,
     SearchResult,
+    drive_wave_sets,
     normalize_rewards_for_training,
 )
 from repro.rl.policies import build_policy
@@ -134,20 +135,82 @@ class Reinforce(SearchAlgorithm):
         rewards, episode = plan.commit()
         return log_probs, entropies, rewards, episode
 
-    def update(self, log_probs: List[Tensor], entropies: List[Tensor],
-               rewards: List[float]) -> float:
-        """One policy-gradient step; returns the scalar loss."""
+    def run_wave(self, venv, episodes: int):
+        """Roll ``episodes`` lockstep episodes through a vector env.
+
+        One policy forward (and one batched action draw per head) serves
+        the whole wave, and the env scores the wave's layers in one
+        batched cost call.  The LSTM state is row-compacted as episodes
+        finish.  Returns one ``(log_probs, entropies, rewards)`` triple
+        per episode, where the tensors are single-row views into the
+        wave graph -- for one episode the values, rewards, and RNG
+        stream are bit-identical to :meth:`run_episode`.
+        """
+        observations = venv.reset(episodes)
+        state = self.policy.initial_state(batch=episodes)
+        per_episode = [([], [], []) for _ in range(episodes)]
+        while not venv.all_done:
+            live = venv.live_indices
+            dists, state = self.policy(Tensor(observations), state)
+            actions = np.stack([d.sample(self.rng) for d in dists], axis=1)
+            step_logp = dists[0].log_prob(actions[:, 0])
+            step_entropy = dists[0].entropy()
+            for head, dist in enumerate(dists[1:], start=1):
+                step_logp = step_logp + dist.log_prob(actions[:, head])
+                step_entropy = step_entropy + dist.entropy()
+            observations, rewards, dones, _ = venv.step(actions)
+            reward_list = rewards.tolist()
+            for row, episode in enumerate(live.tolist()):
+                log_probs, entropies, episode_rewards = per_episode[episode]
+                log_probs.append(step_logp[[row]])
+                entropies.append(step_entropy[[row]])
+                episode_rewards.append(reward_list[row])
+            keep = ~dones
+            observations = observations[keep]
+            if state is not None and not keep.all():
+                state = (state[0][keep], state[1][keep])
+        return per_episode
+
+    def _episode_loss(self, log_probs: List[Tensor],
+                      entropies: List[Tensor],
+                      rewards: List[float]) -> Tensor:
+        """The REINFORCE loss of one episode (kept as a tensor)."""
         returns = normalize_rewards_for_training(rewards, self.discount)
         loss = None
         for log_prob, entropy, g in zip(log_probs, entropies, returns):
             term = log_prob * float(g) + entropy * self.entropy_coef
             loss = term if loss is None else loss + term
-        loss = -loss.sum() * (1.0 / max(len(rewards), 1))
+        return -loss.sum() * (1.0 / max(len(rewards), 1))
+
+    def _apply_loss(self, loss: Tensor) -> float:
         self.optimizer.zero_grad()
         loss.backward()
         clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
         self.optimizer.step()
         return loss.item()
+
+    def update(self, log_probs: List[Tensor], entropies: List[Tensor],
+               rewards: List[float]) -> float:
+        """One policy-gradient step; returns the scalar loss."""
+        return self._apply_loss(
+            self._episode_loss(log_probs, entropies, rewards))
+
+    def update_wave(self, per_episode) -> float:
+        """One policy-gradient step over a wave of episodes.
+
+        The wave's episodes form one minibatch -- the mean of the
+        per-episode losses, the standard vectorized-REINFORCE estimator
+        (the per-step tensors share one wave graph, which supports a
+        single backward).  For a one-episode wave this is exactly
+        :meth:`update`.
+        """
+        losses = [self._episode_loss(*logs) for logs in per_episode]
+        loss = losses[0]
+        for other in losses[1:]:
+            loss = loss + other
+        if len(losses) > 1:
+            loss = loss * (1.0 / len(losses))
+        return self._apply_loss(loss)
 
     # ------------------------------------------------------------------
     def search(self, env: HWAssignmentEnv, epochs: int) -> SearchResult:
@@ -157,13 +220,19 @@ class Reinforce(SearchAlgorithm):
         result, started = self._start(self.name)
         if self.policy is None:
             self._build(env)
-        planned = self.batch_episodes and env.plan_supported()
-        episode_fn = (self.run_episode_planned if planned
-                      else self.run_episode)
-        for _ in range(epochs):
-            log_probs, entropies, rewards, _ = episode_fn(env)
-            self.update(log_probs, entropies, rewards)
-            result.record(env.best.cost if env.best else None)
+        if getattr(env, "is_vector", False):
+            drive_wave_sets(
+                env, epochs, result,
+                lambda episodes: self.update_wave(
+                    self.run_wave(env, episodes)))
+        else:
+            planned = self.batch_episodes and env.plan_supported()
+            episode_fn = (self.run_episode_planned if planned
+                          else self.run_episode)
+            for _ in range(epochs):
+                log_probs, entropies, rewards, _ = episode_fn(env)
+                self.update(log_probs, entropies, rewards)
+                result.record(env.best.cost if env.best else None)
         self._finalize(result, env, started)
         result.memory_bytes = 8 * self.policy.num_parameters()
         return result

@@ -157,6 +157,33 @@ class _ObservedPlan:
         return rewards, episode
 
 
+class _ObservedVectorEnv:
+    """Forwarding proxy around
+    :class:`~repro.env.vector.VectorHWAssignmentEnv` firing one observer
+    step per episode finishing inside a wave."""
+
+    def __init__(self, venv, tracker: _Tracker) -> None:
+        self._venv = venv
+        self._tracker = tracker
+
+    def __getattr__(self, name):
+        return getattr(self._venv, name)
+
+    def reset(self, episodes=None):
+        self._tracker.check_stop()
+        return self._venv.reset(episodes)
+
+    def step(self, actions):
+        out = self._venv.step(actions)
+        for episode in out[3]["episodes"]:
+            if episode is not None:
+                self._tracker.record(
+                    episode.cost, episode.feasible,
+                    assignments_fn=lambda e=episode: e.assignments,
+                    genome=episode.genome, defer_stop=True)
+        return out
+
+
 class _ObservedEvaluator:
     """Forwarding proxy firing one observer step per design-point
     evaluation (scalar, batched, level-indexed, or raw)."""
@@ -210,9 +237,12 @@ class SessionContext:
                  finetune: Optional[int] = None,
                  cost_model: Optional[CostModel] = None,
                  constraint=None,
-                 tracker: Optional[_Tracker] = None) -> None:
+                 tracker: Optional[_Tracker] = None,
+                 envs: int = 1) -> None:
         if budget < 1:
             raise ValueError("budget must be >= 1")
+        if envs < 1:
+            raise ValueError("envs must be >= 1")
         self.task = task
         self.budget = budget
         self.seed = seed
@@ -220,6 +250,9 @@ class SessionContext:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self._constraint = constraint
         self.tracker = tracker if tracker is not None else _Tracker()
+        #: Lockstep episode count for episodic methods (1 = scalar
+        #: stepping; >1 wraps the env in a VectorHWAssignmentEnv).
+        self.envs = envs
         #: Method-specific rich result (e.g. the two-stage
         #: ConfuciuXResult), surfaced as ``SessionResult.detail``.
         self.detail: Any = None
@@ -237,8 +270,23 @@ class SessionContext:
         return self.budget // 4 if self._finetune is None else self._finetune
 
     def make_env(self):
-        """A fresh environment, observed when callbacks are attached."""
+        """A fresh environment, observed when callbacks are attached.
+
+        With ``envs > 1`` the scalar env is wrapped in a
+        :class:`~repro.env.vector.VectorHWAssignmentEnv`, so every
+        episodic agent rolls lockstep episode waves with one batched
+        cost call per layer step.  ``envs == 1`` keeps the scalar
+        stepping path (to which single-env waves are bit-identical --
+        see tests/test_rl_vector_parity.py).
+        """
         env = self.task.make_env(self.cost_model, self.constraint)
+        if self.envs > 1:
+            from repro.env.vector import VectorHWAssignmentEnv
+
+            venv = VectorHWAssignmentEnv(env, self.envs)
+            if self.tracker.active:
+                return _ObservedVectorEnv(venv, self.tracker)
+            return venv
         return _ObservedEnv(env, self.tracker) if self.tracker.active else env
 
     def make_evaluator(self):
@@ -582,7 +630,8 @@ class SearchSession:
         context = SessionContext(
             task=self.spec.task(), budget=self.spec.budget,
             seed=self.spec.seed, finetune=self.spec.finetune,
-            cost_model=self.cost_model, tracker=tracker)
+            cost_model=self.cost_model, tracker=tracker,
+            envs=self.spec.resolved_envs())
         for observer in observers:
             observer._begin_run()
             observer.on_start(self)
@@ -600,6 +649,7 @@ class SearchSession:
                 "repro_version": repro.__version__,
                 "method_kind": self.info.kind,
                 "executor": executor,
+                "envs": context.envs,
                 "started_at": started_at,
                 "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             },

@@ -86,6 +86,16 @@ class SearchSpec:
             IPC break-even; see BENCH_parallel.json).  ``None`` defers to
             ``$REPRO_DISPATCH_MIN``, else the built-in default; ``0``
             disables the fallback.  Never affects results.
+        envs: Lockstep episode count for episodic-RL methods: the agent
+            rolls ``envs`` episodes per wave through a
+            :class:`~repro.env.vector.VectorHWAssignmentEnv`, paying one
+            batched cost call per layer step (see BENCH_rl.json).
+            ``None`` defers to ``$REPRO_ENVS`` (default 1).  ``envs=1``
+            is bit-identical to scalar stepping; ``envs>1`` is a new
+            reproducible scenario whose RNG stream is wave-major (one
+            batched draw per action head per wave -- see API.md), so
+            ``envs`` is part of the scenario identity, like ``seed``.
+            Genome-space and two-stage methods ignore it.
     """
 
     model: str
@@ -107,6 +117,7 @@ class SearchSpec:
     executor: Optional[str] = None
     workers: Optional[int] = None
     dispatch_min_batch: Optional[int] = None
+    envs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str):
@@ -152,6 +163,9 @@ class SearchSpec:
             raise ValueError(
                 "dispatch_min_batch must be >= 0 (0 disables the "
                 "adaptive fallback, None defers to $REPRO_DISPATCH_MIN)")
+        if self.envs is not None and self.envs < 1:
+            raise ValueError(
+                "envs must be >= 1 (or None to defer to $REPRO_ENVS)")
 
     # ------------------------------------------------------------------
     def resolved_executor(self) -> str:
@@ -180,6 +194,21 @@ class SearchSpec:
         """The spec's objective as a resolved
         :class:`~repro.objectives.Objective` instance."""
         return resolve_objective(self.objective)
+
+    def resolved_envs(self) -> int:
+        """The effective lockstep episode count (spec, ``$REPRO_ENVS``,
+        1).  Unlike the executor knobs this is *scenario-defining* for
+        episodic methods when > 1: it changes which episodes are sampled
+        (reproducibly, for a fixed seed)."""
+        if self.envs is not None:
+            return self.envs
+        value = os.environ.get("REPRO_ENVS")
+        if value is None:
+            return 1
+        envs = int(value)
+        if envs < 1:
+            raise ValueError("REPRO_ENVS must be >= 1")
+        return envs
 
     def resolved_dispatch_min_batch(self) -> int:
         """The effective adaptive-dispatch threshold (spec,

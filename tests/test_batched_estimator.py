@@ -315,3 +315,66 @@ class TestSearchEquivalence:
         total_lookups = 10 + 20 * (10 - ga.elite)
         assert result.evaluations == total_lookups
         assert evaluator.evaluations == total_lookups - result.cache_hits
+
+
+# ----------------------------------------------------------------------
+# Population dedup memo (duplicate design points hit the kernel once)
+# ----------------------------------------------------------------------
+class TestPopulationDedup:
+    def _evaluator(self, cost_model, model_layers, deployment="lp"):
+        space = ActionSpace.build("dla")
+        constraint = _constraints(model_layers, cost_model)[0]
+        return DesignPointEvaluator(model_layers, "latency", constraint,
+                                    cost_model, space, dataflow="dla",
+                                    deployment=deployment)
+
+    @pytest.mark.parametrize("deployment", ["lp", "ls"])
+    def test_duplicates_bit_identical_and_counted(self, cost_model,
+                                                  model_layers,
+                                                  deployment):
+        """A population with duplicate rows returns exactly the per-genome
+        scalar results while the duplicates are served from the memo."""
+        evaluator = self._evaluator(cost_model, model_layers, deployment)
+        reference = self._evaluator(cost_model, model_layers, deployment)
+        rng = np.random.default_rng(0)
+        space = evaluator.space
+        unique = _random_genomes(rng, space, len(model_layers), 6)
+        population = unique + unique[:4] + [unique[2]]
+        outcomes = evaluator.evaluate_population(population)
+        assert evaluator.cache_hits == 5
+        # the budget currency still charges the full population
+        assert evaluator.evaluations == len(population)
+        for genome, outcome in zip(population, outcomes):
+            scalar = reference.evaluate_genome(genome)
+            assert outcome.cost == scalar.cost
+            assert outcome.feasible == scalar.feasible
+            assert outcome.used == scalar.used
+            assert outcome.report.latency_cycles \
+                == scalar.report.latency_cycles
+
+    def test_all_unique_population_untouched(self, cost_model,
+                                             model_layers):
+        evaluator = self._evaluator(cost_model, model_layers)
+        rng = np.random.default_rng(1)
+        genomes = _random_genomes(rng, evaluator.space,
+                                  len(model_layers), 8)
+        evaluator.evaluate_population(genomes)
+        assert evaluator.cache_hits == 0
+
+    def test_raw_population_dedups_too(self, cost_model, model_layers):
+        evaluator = self._evaluator(cost_model, model_layers)
+        assignments = evaluator.decode_genome([3, 3] * len(model_layers))
+        outcomes = evaluator.evaluate_population_raw(
+            [assignments, assignments, assignments])
+        assert evaluator.cache_hits == 2
+        assert len({o.cost for o in outcomes}) == 1
+
+    def test_genome_optimizer_reports_cache_hits(self, cost_model,
+                                                 model_layers):
+        """Elitist GA generations re-breed duplicates; the search result
+        surfaces how many the evaluator memo absorbed."""
+        evaluator = self._evaluator(cost_model, model_layers)
+        ga = BASELINE_OPTIMIZERS["ga"](seed=0)
+        result = ga.search(evaluator, 120)
+        assert result.cache_hits == evaluator.cache_hits
+        assert result.evaluations == 120

@@ -356,3 +356,77 @@ def test_weighted_objective_session_runs_and_serializes(tmp_path):
     loaded = repro.SessionResult.load(path)
     assert loaded.spec == outcome.spec
     assert loaded.best_cost == outcome.best_cost
+
+
+# ----------------------------------------------------------------------
+# Scenario presets (battery-life / sla)
+# ----------------------------------------------------------------------
+class TestScenarioPresets:
+    def test_registered_and_resolvable(self):
+        names = list_objectives()
+        assert "battery-life" in names and "sla" in names
+
+    @pytest.mark.parametrize("name, base, limit_on", [
+        ("battery-life", "energy", "area"),
+        ("sla", "latency", "power"),
+    ])
+    def test_name_is_the_spec_and_roundtrips(self, name, base, limit_on):
+        objective = resolve_objective(name)
+        assert objective.spec() == name
+        assert objective.name == name
+        assert objective.base.name == base
+        assert objective.limit_on == limit_on
+        assert resolve_objective(objective.spec()) == objective
+
+    @pytest.mark.parametrize("name", ["battery-life", "sla"])
+    def test_evaluates_as_documented_penalty(self, name):
+        """The preset equals its explicit penalty construction, on both
+        sides of the cap."""
+        preset = resolve_objective(name)
+        explicit = PenaltyObjective(
+            base=ComponentObjective(preset.base.name),
+            limit_on=preset.limit_on, limit=preset.limit,
+            weight=preset.weight)
+        below = CostTotals(1.0e6, 2.0e5, preset.limit * 0.5,
+                           preset.limit * 0.5)
+        above = CostTotals(1.0e6, 2.0e5, preset.limit * 3.0,
+                           preset.limit * 3.0)
+        for totals in (below, above):
+            assert preset.evaluate(totals) == explicit.evaluate(totals)
+        assert preset.evaluate(above) > preset.evaluate(below)
+
+    def test_custom_caps_serialize_as_penalty_dicts(self):
+        from repro.objectives import BatteryLifeObjective, SlaObjective
+
+        custom = BatteryLifeObjective(limit=2.0e7)
+        spec = custom.spec()
+        assert isinstance(spec, dict) and spec["kind"] == "penalty"
+        assert resolve_objective(spec).evaluate(
+            CostTotals(1.0, 1.0, 3.0e7, 1.0)) \
+            == custom.evaluate(CostTotals(1.0, 1.0, 3.0e7, 1.0))
+        assert SlaObjective(weight=2.0).spec()["weight"] == 2.0
+
+    @pytest.mark.parametrize("name", ["battery-life", "sla"])
+    def test_search_spec_roundtrip(self, name):
+        spec = SearchSpec(model="mobilenet_v2", objective=name)
+        restored = SearchSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.resolved_objective() == resolve_objective(name)
+
+    def test_session_runs_and_labels(self, tmp_path):
+        outcome = repro.explore(model="mobilenet_v2", method="random",
+                                objective="battery-life", budget=40,
+                                seed=0, layer_slice=4)
+        assert outcome.feasible
+        assert "battery-life" in outcome.summary()
+        path = tmp_path / "battery.json"
+        outcome.save(path)
+        loaded = repro.SessionResult.load(path)
+        assert loaded.spec == outcome.spec
+        assert loaded.best_cost == outcome.best_cost
+        # the penalty actually bites above the cap: a known over-cap
+        # design scores strictly worse than its bare energy component
+        preset = resolve_objective("battery-life")
+        over_cap = CostTotals(1.0e6, 2.0e5, preset.limit * 2.0, 1.0e3)
+        assert preset.evaluate(over_cap) \
+            == over_cap.energy_nj + preset.weight * preset.limit
