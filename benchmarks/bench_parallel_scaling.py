@@ -12,7 +12,9 @@ Writes ``BENCH_parallel.json`` at the repo root::
      "speedup_process_4": ...,
      "break_even": {"sizes": {batch: {"serial_s": ..., "process_s": ...}},
                     "batch": ..., "per_worker": ...,
-                    "default_min_batch_per_worker": ...}}
+                    "default_min_batch_per_worker": ...},
+     "fault_tolerance": {"crash_free": {...}, "faulted": {...},
+                         "recovery_overhead_x": ...}}
 
 The ``break_even`` section measures the adaptive-dispatch crossover:
 the smallest batch for which sharding across 2 worker processes beats
@@ -24,6 +26,14 @@ asserted below so regressions in the recording fail the bench.
 ``SearchSpec.dispatch_min_batch`` / ``$REPRO_DISPATCH_MIN`` default to
 the built-in ``DEFAULT_DISPATCH_MIN_BATCH``; these numbers are how that
 constant is re-measured when the kernel or the IPC path changes.
+
+The ``fault_tolerance`` section is the receipt behind PERFORMANCE.md's
+"supervision is free when nothing fails" claim: a crash-free session
+through the supervised process pool must report **zero** retries,
+respawns, and timeouts in its execution provenance (asserted, not just
+recorded -- the supervision loop touching the hot path would show up
+here first), and a session recovering from an injected worker kill is
+timed against it so the recovery overhead stays a number, not folklore.
 
 Process sharding only buys wall-clock when there are cores to shard
 onto: the acceptance bar (>= 2x at 4 workers) is asserted when the
@@ -131,6 +141,47 @@ def test_parallel_scaling(save_report):
             if break_even_batch is None and process_s <= small_serial_s:
                 break_even_batch = batch_elements
 
+    # ---- fault tolerance: supervision overhead and recovery cost ------
+    from repro.parallel import FaultPlan, ParallelCoordinator
+    from repro.search import SearchSession, SearchSpec
+
+    def _timed_session(fault_plan=None):
+        spec = SearchSpec(model="mobilenet_v2", method="ga", budget=40,
+                          seed=5, layer_slice=NUM_LAYERS,
+                          executor="process", workers=2,
+                          dispatch_min_batch=0)
+        coordinator = ParallelCoordinator("process", workers=2,
+                                          fault_plan=fault_plan,
+                                          degrade=False)
+        started = time.perf_counter()
+        outcome = SearchSession(spec).run(callbacks=[coordinator])
+        seconds = time.perf_counter() - started
+        execution = outcome.provenance["execution"]
+        return seconds, outcome.best_cost, execution
+
+    # The explicit empty plan pins a fault-free pool even when the
+    # environment carries a $REPRO_FAULTS chaos plan.
+    crash_free_s, crash_free_cost, crash_free_exec = _timed_session(
+        FaultPlan())
+    faulted_s, faulted_cost, faulted_exec = _timed_session(
+        FaultPlan(kill_worker=[(0, 0)]))
+
+    # Supervision must be invisible when nothing fails: the poll loop
+    # and retry accounting may not touch the crash-free hot path.
+    assert crash_free_exec["retries"] == 0
+    assert crash_free_exec["respawns"] == 0
+    assert crash_free_exec["timeouts"] == 0
+    # Recovery must be invisible in the *results*: one killed worker
+    # later, the session still lands on the identical best cost.
+    assert faulted_cost == crash_free_cost
+    assert faulted_exec["respawns"] == 1
+
+    fault_tolerance = {
+        "crash_free": {"seconds": crash_free_s, **crash_free_exec},
+        "faulted": {"seconds": faulted_s, **faulted_exec},
+        "recovery_overhead_x": faulted_s / crash_free_s,
+    }
+
     from repro.parallel import DEFAULT_DISPATCH_MIN_BATCH
 
     cpu_count = os.cpu_count() or 1
@@ -164,7 +215,17 @@ def test_parallel_scaling(save_report):
          f"{BREAK_EVEN_WORKERS}", "winner"], break_even_rows,
         title=f"adaptive-dispatch break-even (measured crossover: "
               f"{break_even_batch}, shipped default: "
-              f"{DEFAULT_DISPATCH_MIN_BATCH}/worker)"))
+              f"{DEFAULT_DISPATCH_MIN_BATCH}/worker)")
+        + "\n\n" + format_table(
+        ["run", "session time", "retries", "respawns"],
+        [["crash-free", f"{crash_free_s:.3f} s",
+          str(crash_free_exec["retries"]),
+          str(crash_free_exec["respawns"])],
+         ["1 worker killed", f"{faulted_s:.3f} s",
+          str(faulted_exec["retries"]),
+          str(faulted_exec["respawns"])]],
+        title=f"fault tolerance (recovery overhead "
+              f"{faulted_s / crash_free_s:.2f}x, identical best cost)"))
 
     payload = {
         "serial_s": serial_s,
@@ -179,6 +240,7 @@ def test_parallel_scaling(save_report):
             "per_worker": break_even_per_worker,
             "default_min_batch_per_worker": DEFAULT_DISPATCH_MIN_BATCH,
         },
+        "fault_tolerance": fault_tolerance,
     }
 
     # Schema: the crossover fields are an int batch size or the explicit

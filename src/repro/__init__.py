@@ -81,9 +81,17 @@ from repro.search import (
     method_names,
     register_method,
 )
-from repro.parallel import ParallelCoordinator, make_backend
+from repro.parallel import (
+    ExecutionError,
+    FaultInjected,
+    FaultPlan,
+    ParallelCoordinator,
+    TaskTimeoutError,
+    WorkerCrashError,
+    make_backend,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Layer",
@@ -128,9 +136,14 @@ __all__ = [
     "resolve_objective",
     "list_objectives",
     "objective_label",
-    # Parallel execution.
+    # Parallel execution and fault tolerance.
     "ParallelCoordinator",
     "make_backend",
+    "FaultPlan",
+    "ExecutionError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
+    "FaultInjected",
     "__version__",
 ]
 

@@ -132,6 +132,7 @@ def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
             workers=args.workers,
             dispatch_min_batch=args.dispatch_min_batch,
             envs=args.envs,
+            task_timeout_s=args.task_timeout_s,
         )
     except ValueError as error:
         # Free-form spec fields (--objective most of all) are validated
@@ -239,7 +240,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         callbacks = [ParallelCoordinator(
             first.resolved_executor(), first.resolved_workers(),
             keep_alive=True,
-            min_batch_per_worker=first.resolved_dispatch_min_batch())]
+            min_batch_per_worker=first.resolved_dispatch_min_batch(),
+            task_timeout_s=first.resolved_task_timeout_s())]
     try:
         for method in methods:
             spec = _spec_from_args(args, method)
@@ -292,10 +294,12 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                         help="restrict to the first N layers (0 = all)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--executor", default=None,
-                        choices=["serial", "thread", "process"],
+                        choices=["serial", "thread", "process", "chaos"],
                         help="population-evaluation backend (default: "
                              "$REPRO_EXECUTOR or serial; results are "
-                             "bit-identical across backends)")
+                             "bit-identical across backends; chaos is "
+                             "process with deterministic fault injection "
+                             "from $REPRO_FAULTS or a seeded default)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for parallel executors "
                              "(default: $REPRO_WORKERS, else available "
@@ -306,6 +310,13 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                              "elements per worker run in-process "
                              "(default: $REPRO_DISPATCH_MIN or the "
                              "measured break-even; 0 always shards)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        dest="task_timeout_s",
+                        help="per-batch deadline in seconds for the "
+                             "process backend: hung workers are "
+                             "terminated and their shards re-dispatched "
+                             "(default: $REPRO_TASK_TIMEOUT or disabled; "
+                             "0 disables; recovery never changes results)")
     parser.add_argument("--envs", type=int, default=None,
                         help="lockstep episodes per wave for episodic-RL "
                              "methods (default: $REPRO_ENVS or 1; 1 is "

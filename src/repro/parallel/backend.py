@@ -10,7 +10,7 @@ outputs back at their offsets: the gathered report is bit-identical to a
 single serial call, which is the invariant the parity suite in
 ``tests/test_parallel_parity.py`` locks down.
 
-Three backends ship:
+Four backends ship:
 
 * :class:`SerialBackend` -- the in-process kernel (the do-nothing
   reference implementation every other backend must match bit for bit).
@@ -20,6 +20,22 @@ Three backends ship:
   with zero-copy array handoff via :mod:`repro.parallel.shm`.  Workers
   are spawned once, reused for every batch of a session, and shut down
   deterministically (``shutdown``, context-manager exit, or finalizer).
+  The backend *supervises* its pool: a worker that dies or hangs
+  mid-batch is respawned, its cached tables re-shipped, and only the
+  lost shards re-dispatched -- bounded by a retry budget with
+  exponential backoff -- so the recovered batch is bit-identical to a
+  crash-free run (the kernel is pure and shard-invariant).
+* ``chaos`` -- the process backend with a deterministic
+  :class:`~repro.parallel.faults.FaultPlan` always attached
+  (``$REPRO_FAULTS`` or a default seeded plan), so every recovery path
+  is exercised by ordinary test runs.
+
+:class:`ResilientBackend` wraps any parallel backend in the degradation
+ladder: when a pool fails outright (retry budget exhausted -- an
+:class:`~repro.parallel.errors.ExecutionError`), it downshifts
+process -> thread -> serial via :func:`make_backend`, re-runs the failed
+batch on the new rung, and records ``degraded_to`` -- the session
+completes instead of dying.
 
 Pick one by name with :func:`make_backend`.
 """
@@ -27,6 +43,7 @@ Pick one by name with :func:`make_backend`.
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import fields
@@ -37,23 +54,48 @@ import numpy as np
 from repro.costmodel.batched import LayerTable, evaluate_batch_kernel
 from repro.costmodel.constants import HardwareConfig
 from repro.costmodel.report import BatchCostReport
+from repro.parallel.errors import (
+    ExecutionError,
+    FaultInjected,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.parallel.faults import FaultPlan
 from repro.parallel.shm import BatchBlock, mute_resource_tracker
 
 __all__ = [
     "DEFAULT_DISPATCH_MIN_BATCH",
+    "DEFAULT_MAX_RETRIES",
+    "DEGRADATION_LADDER",
     "EXECUTORS",
     "ExecutionBackend",
     "ProcessBackend",
+    "ResilientBackend",
     "SerialBackend",
     "ThreadBackend",
     "default_dispatch_min_batch",
+    "default_max_retries",
+    "default_task_timeout",
     "default_workers",
     "make_backend",
     "shard_bounds",
 ]
 
 #: Names accepted by :func:`make_backend` and ``SearchSpec.executor``.
-EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+#: ``chaos`` is the process backend with a deterministic fault plan
+#: attached -- same results, injected failures.
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process", "chaos")
+
+#: Per-batch recovery budget: how many crash/timeout/fault recoveries a
+#: single ``evaluate`` call may spend before raising (override with
+#: ``$REPRO_MAX_RETRIES`` or the ``max_retries`` argument).
+DEFAULT_MAX_RETRIES = 3
+
+#: The downshift order :class:`ResilientBackend` walks after a pool
+#: failure.  ``serial`` has no entry: it cannot fail for infrastructure
+#: reasons, so an error there propagates.
+DEGRADATION_LADDER: Dict[str, str] = {"process": "thread",
+                                      "thread": "serial"}
 
 #: Default adaptive-dispatch threshold: batches smaller than this many
 #: elements *per worker* run in-process instead of being sharded -- the
@@ -88,6 +130,32 @@ def default_dispatch_min_batch() -> int:
                 f"REPRO_DISPATCH_MIN must be >= 0, got {env!r}")
         return threshold
     return DEFAULT_DISPATCH_MIN_BATCH
+
+
+def default_max_retries() -> int:
+    """Per-batch recovery budget when none is requested:
+    ``$REPRO_MAX_RETRIES`` if set (0 disables recovery: the first
+    failure raises), else :data:`DEFAULT_MAX_RETRIES`."""
+    env = os.environ.get("REPRO_MAX_RETRIES")
+    if env is not None:
+        retries = int(env)
+        if retries < 0:
+            raise ValueError(f"REPRO_MAX_RETRIES must be >= 0, got {env!r}")
+        return retries
+    return DEFAULT_MAX_RETRIES
+
+
+def default_task_timeout() -> float:
+    """Per-batch deadline in seconds when none is requested:
+    ``$REPRO_TASK_TIMEOUT`` if set, else 0 (no deadline)."""
+    env = os.environ.get("REPRO_TASK_TIMEOUT")
+    if env is not None:
+        timeout = float(env)
+        if timeout < 0:
+            raise ValueError(
+                f"REPRO_TASK_TIMEOUT must be >= 0, got {env!r}")
+        return timeout
+    return 0.0
 
 
 def shard_bounds(batch: int, shards: int) -> List[Tuple[int, int]]:
@@ -190,14 +258,26 @@ def _concat_reports(parts: Sequence[BatchCostReport]) -> BatchCostReport:
 
 
 class ThreadBackend(ExecutionBackend):
-    """Shard across a persistent thread pool in this process."""
+    """Shard across a persistent thread pool in this process.
+
+    Threads cannot be killed or respawned, so of the fault kinds only
+    ``raise_in_kernel`` applies here, keyed ``(batch_idx, shard_idx)``
+    and checked at dispatch time: it raises
+    :class:`~repro.parallel.errors.FaultInjected` out of ``evaluate``
+    (fire-once), which is how a chaos run exercises the degradation
+    ladder's middle rung.
+    """
 
     name = "thread"
 
     def __init__(self, workers: int = 1,
-                 min_batch_per_worker: int = 0) -> None:
+                 min_batch_per_worker: int = 0,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         super().__init__(workers, min_batch_per_worker)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self.fault_plan = fault_plan
+        self._fired_faults: set = set()
+        self._next_task = 0
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -205,6 +285,18 @@ class ThreadBackend(ExecutionBackend):
                 max_workers=self.workers,
                 thread_name_prefix="repro-batch")
         return self._pool
+
+    def _check_faults(self, task_id: int, shards: int) -> None:
+        if self.fault_plan is None:
+            return
+        for batch_idx, shard_idx in self.fault_plan.raise_in_kernel:
+            key = (batch_idx, shard_idx)
+            if (batch_idx == task_id and shard_idx < shards
+                    and key not in self._fired_faults):
+                self._fired_faults.add(key)
+                raise FaultInjected(
+                    f"injected fault in thread shard {shard_idx} at "
+                    f"batch {task_id}")
 
     def evaluate(self, hw, table, layer_idx, style_idx, pes,
                  l1_bytes) -> BatchCostReport:
@@ -214,6 +306,9 @@ class ThreadBackend(ExecutionBackend):
             return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
                                          pes, l1_bytes)
         self.sharded_batches += 1
+        task_id = self._next_task
+        self._next_task += 1
+        self._check_faults(task_id, len(bounds))
         pool = self._ensure_pool()
         futures = [
             pool.submit(evaluate_batch_kernel, hw, table,
@@ -232,13 +327,29 @@ class ThreadBackend(ExecutionBackend):
 # ----------------------------------------------------------------------
 # Process backend
 # ----------------------------------------------------------------------
-def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+def _worker_main(worker_id: int, task_queue, result_queue,
+                 faults: Optional[dict] = None) -> None:
     """Worker loop: evaluate shards of shared-memory batches until told
     to exit.  Tables and hardware constants arrive once per search
     (``load`` messages) and are cached by id; per-batch messages carry
     only the segment descriptor, so the arrays themselves never cross
-    the queue."""
+    the queue.
+
+    ``faults`` is this worker's slice of a
+    :class:`~repro.parallel.faults.FaultPlan` (``{"kill": [batch...],
+    "raise": [batch...], "delay": [[batch, seconds]...]}``), shipped at
+    spawn time; respawned workers receive a pruned copy so a consumed
+    fault never re-fires.  Kills exit before the segment is touched,
+    raises fire once each and are reported with the dedicated
+    ``"fault"`` status (retryable), delays sleep before evaluating.
+    """
     mute_resource_tracker()
+    kill_at = list(faults["kill"]) if faults else []
+    raise_at = list(faults["raise"]) if faults else []
+    delay_at: Dict[int, float] = {}
+    if faults:
+        for batch_idx, seconds in faults["delay"]:
+            delay_at[batch_idx] = delay_at.get(batch_idx, 0.0) + seconds
     tables: Dict[int, Tuple[HardwareConfig, LayerTable]] = {}
     while True:
         message = task_queue.get()
@@ -250,7 +361,18 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
             tables[table_id] = (hw, LayerTable.build(layers))
             continue
         _, task_id, segment_name, batch, lo, hi, table_id = message
+        if task_id in kill_at:
+            os._exit(1)
+        delay = delay_at.pop(task_id, 0.0)
+        if delay:
+            time.sleep(delay)
+        status, detail = "ok", None
         try:
+            if task_id in raise_at:
+                raise_at.remove(task_id)
+                raise FaultInjected(
+                    f"injected fault in worker {worker_id} at batch "
+                    f"{task_id}")
             hw, table = tables[table_id]
             block = BatchBlock.attach(segment_name, batch)
             try:
@@ -263,17 +385,17 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
                 block.write_report(report, lo, hi)
             finally:
                 block.close()
+        except FaultInjected as error:
+            status, detail = "fault", repr(error)
         except BaseException as error:  # noqa: BLE001 - forwarded verbatim
             import traceback
 
-            result_queue.put((task_id, worker_id, "error",
-                              f"{error!r}\n{traceback.format_exc()}"))
-        else:
-            result_queue.put((task_id, worker_id, "ok", None))
+            status, detail = "error", f"{error!r}\n{traceback.format_exc()}"
+        result_queue.put((task_id, worker_id, lo, hi, status, detail))
 
 
 class ProcessBackend(ExecutionBackend):
-    """Shard batches across persistent worker processes.
+    """Shard batches across persistent, *supervised* worker processes.
 
     Workers are spawned lazily on the first batch (once per backend
     lifetime), reused for every subsequent batch -- a whole session's
@@ -283,6 +405,19 @@ class ProcessBackend(ExecutionBackend):
     :mod:`repro.parallel.shm`); each worker gets a dedicated task queue
     so shard routing -- and therefore table shipping -- is deterministic.
 
+    Supervision: a worker that dies mid-batch (OOM kill, segfault,
+    injected fault) is detected by the result-wait loop, respawned with
+    a fresh task queue, its cached tables re-shipped, and only its lost
+    shards re-dispatched -- after an exponential backoff, bounded per
+    batch by ``max_retries``.  A batch that misses ``task_timeout_s``
+    has its hung workers terminated and recovered the same way.  The
+    batched kernel is pure and shard-invariant, so a recovered batch is
+    bit-identical to a crash-free one.  Exhausting the budget raises
+    :class:`~repro.parallel.errors.WorkerCrashError` /
+    :class:`~repro.parallel.errors.TaskTimeoutError` (both
+    :class:`~repro.parallel.errors.ExecutionError`, the degradation
+    ladder's cue) with the pool shut down for a clean restart.
+
     Args:
         workers: Worker process count.
         start_method: ``multiprocessing`` start method; default
@@ -291,13 +426,36 @@ class ProcessBackend(ExecutionBackend):
         min_batch_per_worker: Adaptive-dispatch threshold (see
             :class:`ExecutionBackend`); small batches run in-process and
             do not spawn the pool.
+        max_retries: Per-batch recovery budget (``None``:
+            ``$REPRO_MAX_RETRIES`` or :data:`DEFAULT_MAX_RETRIES`).
+        backoff_base_s: First-retry backoff; attempt ``n`` sleeps
+            ``backoff_base_s * 2**(n-1)``.
+        task_timeout_s: Per-batch deadline in seconds; 0 disables
+            (``None``: ``$REPRO_TASK_TIMEOUT`` or disabled).
+        fault_plan: Deterministic fault injection script (``None``:
+            ``$REPRO_FAULTS`` or no faults).
+
+    Attributes:
+        retries / respawns / timeouts: Recovery counters (never reset by
+            :meth:`shutdown`), surfaced into ``SessionResult.provenance``
+            by :class:`~repro.parallel.ParallelCoordinator`.  All stay 0
+            in a crash-free run -- supervision costs nothing until a
+            failure happens.
     """
 
     name = "process"
 
+    #: Liveness/deadline poll interval while waiting on shard acks --
+    #: also the worst-case crash-detection latency.
+    POLL_S = 0.25
+
     def __init__(self, workers: int = 1,
                  start_method: Optional[str] = None,
-                 min_batch_per_worker: int = 0) -> None:
+                 min_batch_per_worker: int = 0,
+                 max_retries: Optional[int] = None,
+                 backoff_base_s: float = 0.05,
+                 task_timeout_s: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         super().__init__(workers, min_batch_per_worker)
         import multiprocessing
 
@@ -308,11 +466,40 @@ class ProcessBackend(ExecutionBackend):
                             in multiprocessing.get_all_start_methods()
                             else "spawn")
         self._context = multiprocessing.get_context(start_method)
+        self.max_retries = (default_max_retries() if max_retries is None
+                            else max_retries)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        self.backoff_base_s = backoff_base_s
+        if task_timeout_s is None:
+            task_timeout_s = default_task_timeout()
+        if task_timeout_s < 0:
+            raise ValueError("task_timeout_s must be >= 0 (0 disables)")
+        #: Per-batch deadline; ``None`` means no deadline.
+        self.task_timeout_s = float(task_timeout_s) or None
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        self.fault_plan = fault_plan
+        # Mutable per-worker remainders of the plan's consumable fault
+        # kinds: one occurrence is pruned per observed death / hang so a
+        # respawned worker never replays a consumed fault.
+        self._kills: Dict[int, List[int]] = {}
+        self._delays: Dict[int, List[Tuple[int, float]]] = {}
+        if fault_plan is not None:
+            for worker_id in range(workers):
+                self._kills[worker_id] = fault_plan.kills_for(worker_id)
+                self._delays[worker_id] = fault_plan.delays_for(worker_id)
+        self.retries = 0
+        self.respawns = 0
+        self.timeouts = 0
         self._processes: List = []
         self._task_queues: List = []
         self._result_queue = None
         self._tables: Dict[int, LayerTable] = {}
         self._shipped: List[set] = []
+        self._generations: List[int] = []
         self._next_task = 0
         self._finalizer: Optional[weakref.finalize] = None
 
@@ -321,24 +508,78 @@ class ProcessBackend(ExecutionBackend):
     def alive_workers(self) -> int:
         return sum(1 for process in self._processes if process.is_alive())
 
+    def _fault_wire(self, worker_id: int) -> Optional[dict]:
+        """This worker's (remaining) slice of the fault plan, in the
+        wire format ``_worker_main`` consumes."""
+        if self.fault_plan is None:
+            return None
+        return {
+            "kill": list(self._kills.get(worker_id, ())),
+            "raise": self.fault_plan.raises_for(worker_id),
+            "delay": [[batch, seconds] for batch, seconds
+                      in self._delays.get(worker_id, ())],
+        }
+
+    def _spawn(self, worker_id: int) -> None:
+        generation = self._generations[worker_id]
+        suffix = f"-r{generation}" if generation else ""
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, self._task_queues[worker_id],
+                  self._result_queue, self._fault_wire(worker_id)),
+            daemon=True,
+            name=f"repro-worker-{worker_id}{suffix}")
+        process.start()
+        self._processes[worker_id] = process
+
     def _ensure_started(self) -> None:
         if self._processes:
             return
         self._result_queue = self._context.Queue()
         self._task_queues = [self._context.Queue()
                              for _ in range(self.workers)]
-        self._processes = []
-        for worker_id, task_queue in enumerate(self._task_queues):
-            process = self._context.Process(
-                target=_worker_main,
-                args=(worker_id, task_queue, self._result_queue),
-                daemon=True,
-                name=f"repro-worker-{worker_id}")
-            process.start()
-            self._processes.append(process)
+        self._processes = [None] * self.workers
         self._shipped = [set() for _ in range(self.workers)]
+        self._generations = [0] * self.workers
+        for worker_id in range(self.workers):
+            self._spawn(worker_id)
+        # The finalizer holds the *lists*, which respawns mutate in
+        # place, so it always reaps the current pool members.
         self._finalizer = weakref.finalize(
             self, _shutdown_workers, self._processes, self._task_queues)
+
+    def _respawn(self, worker_id: int, task_id: int) -> None:
+        """Replace one dead or hung worker: terminate what is left of
+        it, drop its task queue (undelivered messages and sentinels die
+        with it), prune the faults it just consumed, and start a fresh
+        incarnation that will be re-shipped tables on demand."""
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5)
+        old_queue = self._task_queues[worker_id]
+        try:
+            old_queue.cancel_join_thread()
+            old_queue.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        # Prune one occurrence of the faults that explain this event so
+        # the replacement does not replay them (entries are multisets:
+        # duplicates deliberately re-fire).
+        kills = self._kills.get(worker_id)
+        if kills and task_id in kills:
+            kills.remove(task_id)
+        delays = self._delays.get(worker_id)
+        if delays:
+            for entry in delays:
+                if entry[0] == task_id:
+                    delays.remove(entry)
+                    break
+        self._task_queues[worker_id] = self._context.Queue()
+        self._shipped[worker_id] = set()
+        self._generations[worker_id] += 1
+        self._spawn(worker_id)
+        self.respawns += 1
 
     def _ship_table(self, worker_id: int, hw: HardwareConfig,
                     table: LayerTable) -> int:
@@ -354,6 +595,12 @@ class ProcessBackend(ExecutionBackend):
                 ("load", table_id, hw, table.layers))
             self._shipped[worker_id].add(table_id)
         return table_id
+
+    def _dispatch(self, worker_id: int, task_id: int, block: BatchBlock,
+                  lo: int, hi: int, hw, table) -> None:
+        table_id = self._ship_table(worker_id, hw, table)
+        self._task_queues[worker_id].put(
+            ("eval", task_id, block.name, block.batch, lo, hi, table_id))
 
     def evaluate(self, hw, table, layer_idx, style_idx, pes,
                  l1_bytes) -> BatchCostReport:
@@ -371,46 +618,128 @@ class ProcessBackend(ExecutionBackend):
         self._next_task += 1
         with BatchBlock.allocate(layer_idx, style_idx, pes,
                                  l1_bytes) as block:
-            for shard, (lo, hi) in enumerate(bounds):
-                worker_id = shard % self.workers
-                table_id = self._ship_table(worker_id, hw, table)
-                self._task_queues[worker_id].put(
-                    ("eval", task_id, block.name, block.batch, lo, hi,
-                     table_id))
-            failures = []
-            for _ in bounds:
-                done_id, worker_id, status, detail = self._next_result()
-                if done_id != task_id:  # pragma: no cover - defensive
-                    raise RuntimeError(
-                        f"out-of-order result for task {done_id} "
-                        f"(expected {task_id})")
-                if status != "ok":
-                    failures.append((worker_id, detail))
-            if failures:
-                worker_id, detail = failures[0]
-                raise RuntimeError(
-                    f"parallel worker {worker_id} failed:\n{detail}")
+            self._run_task(task_id, block, bounds, hw, table)
             return block.gather_report()
 
-    def _next_result(self, poll_s: float = 1.0):
-        """One shard ack, polling worker liveness so a worker killed
-        mid-batch (OOM, segfault) raises instead of hanging the search
-        forever on a result that will never arrive."""
-        import queue
+    # ------------------------------------------------------------------
+    def _run_task(self, task_id: int, block: BatchBlock, bounds, hw,
+                  table) -> None:
+        """Dispatch one batch's shards and supervise them to completion.
 
-        while True:
+        The loop waits for shard acks while polling worker liveness and
+        the batch deadline; lost shards (dead or hung worker, injected
+        fault) are re-dispatched after recovery, bounded by
+        ``max_retries`` recoveries per batch.  Stale acks -- from a
+        worker terminated after it finished, or an earlier attempt of a
+        recovered shard -- are recognized by (task, shard) bookkeeping
+        and ignored; duplicate writes are idempotent because every
+        attempt computes identical bytes.
+        """
+        import queue as queue_module
+
+        pending: Dict[Tuple[int, int], int] = {}
+        for shard, (lo, hi) in enumerate(bounds):
+            worker_id = shard % self.workers
+            self._dispatch(worker_id, task_id, block, lo, hi, hw, table)
+            pending[(lo, hi)] = worker_id
+        attempts = 0
+        failures: List[Tuple[int, str]] = []
+        timeout = self.task_timeout_s
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while pending:
+            wait = self.POLL_S
+            if deadline is not None:
+                wait = min(wait, max(0.0, deadline - time.monotonic()))
+            message = None
             try:
-                return self._result_queue.get(timeout=poll_s)
-            except queue.Empty:
-                dead = [process.name for process in self._processes
-                        if not process.is_alive()]
-                if dead:
-                    # The pool is unusable with a member gone; reset so
-                    # a retrying caller gets a fresh spawn.
-                    self.shutdown()
-                    raise RuntimeError(
-                        f"parallel worker(s) died mid-batch: "
-                        f"{', '.join(dead)}") from None
+                message = self._result_queue.get(timeout=wait)
+            except queue_module.Empty:
+                pass
+            if message is not None:
+                done_id, worker_id, lo, hi, status, detail = message
+                if done_id != task_id or (lo, hi) not in pending:
+                    continue  # stale ack from a recovered attempt
+                if status == "ok":
+                    del pending[(lo, hi)]
+                elif status == "fault":
+                    # Injected and explicitly retryable; the worker is
+                    # alive and will not re-fire, so re-dispatch the
+                    # same shard right back to it.
+                    attempts = self._account_recovery(
+                        task_id, attempts, "fault",
+                        f"injected fault on worker {worker_id}")
+                    self._dispatch(worker_id, task_id, block, lo, hi, hw,
+                                   table)
+                else:
+                    # A genuine kernel error is deterministic: burning
+                    # the retry budget (or a downshift) on it would only
+                    # delay the same failure, so surface it -- but only
+                    # after the remaining shards drain, keeping the pool
+                    # consistent for the next batch.
+                    failures.append((worker_id, detail))
+                    del pending[(lo, hi)]
+                continue
+            # Nothing arrived inside the poll window: look for dead
+            # workers among the pending shards, then check the deadline.
+            dead = sorted({wid for wid in pending.values()
+                           if not self._processes[wid].is_alive()})
+            if dead:
+                names = [self._processes[wid].name for wid in dead]
+                attempts = self._account_recovery(
+                    task_id, attempts, "crash",
+                    f"worker(s) died mid-batch: {', '.join(names)}",
+                    worker_names=names)
+                self._recover(task_id, block, pending, dead, hw, table)
+                if deadline is not None:
+                    deadline = time.monotonic() + timeout
+                continue
+            if deadline is not None and time.monotonic() >= deadline:
+                hung = sorted(set(pending.values()))
+                self.timeouts += 1
+                attempts = self._account_recovery(
+                    task_id, attempts, "timeout",
+                    f"batch {task_id} missed its {timeout}s deadline "
+                    f"({len(pending)} shard(s) outstanding)")
+                self._recover(task_id, block, pending, hung, hw, table)
+                deadline = time.monotonic() + timeout
+        if failures:
+            worker_id, detail = failures[0]
+            raise RuntimeError(
+                f"parallel worker {worker_id} failed:\n{detail}")
+
+    def _account_recovery(self, task_id: int, attempts: int, kind: str,
+                          reason: str, worker_names=()) -> int:
+        """Charge one recovery against the batch budget; raise the
+        matching :class:`~repro.parallel.errors.ExecutionError` when it
+        is spent (with the pool reset so a retrying caller starts
+        clean), else back off exponentially and return the new count."""
+        attempts += 1
+        self.retries += 1
+        if attempts > self.max_retries:
+            self.shutdown()
+            message = (f"parallel batch {task_id}: {reason}; retry "
+                       f"budget ({self.max_retries}) exhausted")
+            if kind == "timeout":
+                raise TaskTimeoutError(message,
+                                       timeout_s=self.task_timeout_s or 0.0)
+            if kind == "fault":
+                raise FaultInjected(message)
+            raise WorkerCrashError(message, worker_names=worker_names)
+        if self.backoff_base_s:
+            time.sleep(self.backoff_base_s * 2 ** (attempts - 1))
+        return attempts
+
+    def _recover(self, task_id: int, block: BatchBlock, pending,
+                 worker_ids, hw, table) -> None:
+        """Respawn the given workers and re-dispatch their lost shards
+        (only those -- completed shards stay completed)."""
+        for worker_id in worker_ids:
+            self._respawn(worker_id, task_id)
+        for (lo, hi), worker_id in list(pending.items()):
+            if worker_id in worker_ids:
+                self._dispatch(worker_id, task_id, block, lo, hi, hw,
+                               table)
 
     def shutdown(self) -> None:
         if not self._processes:
@@ -420,11 +749,23 @@ class ProcessBackend(ExecutionBackend):
             self._finalizer = None
         _shutdown_workers(self._processes, self._task_queues)
         if self._result_queue is not None:
+            import queue as queue_module
+
+            # Drain stale acks (from terminated or timed-out attempts)
+            # so the feeder thread has nothing left to flush, then drop
+            # the queue without joining it.
+            try:
+                while True:
+                    self._result_queue.get_nowait()
+            except (queue_module.Empty, OSError, ValueError):
+                pass
+            self._result_queue.cancel_join_thread()
             self._result_queue.close()
         self._processes = []
         self._task_queues = []
         self._result_queue = None
         self._shipped = []
+        self._generations = []
         self._tables = {}
 
 
@@ -443,23 +784,141 @@ def _shutdown_workers(processes, task_queues) -> None:
             process.terminate()
             process.join(timeout=5)
     for task_queue in task_queues:
-        task_queue.close()
+        # A terminate()d worker leaves its exit sentinel (and any
+        # undelivered messages) in the queue; cancel_join_thread stops
+        # the feeder from blocking interpreter exit on that undrained
+        # buffer, then close drops it.
+        try:
+            task_queue.cancel_join_thread()
+            task_queue.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder
+# ----------------------------------------------------------------------
+class ResilientBackend(ExecutionBackend):
+    """Graceful-degradation wrapper around a parallel backend.
+
+    Delegates every batch to the wrapped backend; when that backend
+    fails outright -- its per-batch retry budget exhausted, surfacing an
+    :class:`~repro.parallel.errors.ExecutionError` -- the wrapper walks
+    :data:`DEGRADATION_LADDER` (process -> thread -> serial) via
+    :func:`make_backend`, re-runs the failed batch on the new rung
+    (bit-identical: the kernel is pure), and keeps going.  The session
+    completes; ``degraded_to`` records where it landed.  Genuine kernel
+    errors (plain ``RuntimeError``) pass through untouched.
+
+    :class:`~repro.parallel.ParallelCoordinator` wraps the backends it
+    builds in one of these (``degrade=True``) and surfaces
+    :meth:`stats` into ``SessionResult.provenance["execution"]``.
+
+    Args:
+        inner: The backend to supervise.
+        degrade_after: Pool failures tolerated at a rung before
+            downshifting (intermediate failures re-run the batch on the
+            same backend, which restarts lazily).
+        on_degrade: ``callback(error, from_name, to_name)`` fired on
+            every downshift -- the coordinator bridges it to the
+            observer protocol as a structured warning.
+    """
+
+    name = "resilient"
+
+    def __init__(self, inner: ExecutionBackend, degrade_after: int = 1,
+                 on_degrade=None) -> None:
+        super().__init__(inner.workers, inner.min_batch_per_worker)
+        if degrade_after < 1:
+            raise ValueError("degrade_after must be >= 1")
+        self.inner = inner
+        self.degrade_after = degrade_after
+        self.on_degrade = on_degrade
+        self.pool_failures = 0
+        self.degraded_to: Optional[str] = None
+        self._failures_at_rung = 0
+        # Counters of retired rungs, folded into stats() alongside the
+        # live inner backend's.
+        self._absorbed = {"retries": 0, "respawns": 0, "timeouts": 0,
+                          "inline_batches": 0, "sharded_batches": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_workers(self) -> int:
+        return self.inner.alive_workers
+
+    def _absorb(self, backend: ExecutionBackend) -> None:
+        for key in self._absorbed:
+            self._absorbed[key] += getattr(backend, key, 0)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated fault-tolerance counters across every rung used."""
+        data = dict(self._absorbed)
+        for key in list(data):
+            data[key] += getattr(self.inner, key, 0)
+        data["pool_failures"] = self.pool_failures
+        data["degraded_to"] = self.degraded_to
+        data["executor"] = self.inner.name
+        return data
+
+    def evaluate(self, hw, table, layer_idx, style_idx, pes,
+                 l1_bytes) -> BatchCostReport:
+        while True:
+            try:
+                return self.inner.evaluate(hw, table, layer_idx,
+                                           style_idx, pes, l1_bytes)
+            except ExecutionError as error:
+                self.pool_failures += 1
+                self._failures_at_rung += 1
+                next_name = DEGRADATION_LADDER.get(self.inner.name)
+                if next_name is None:
+                    raise
+                if self._failures_at_rung < self.degrade_after:
+                    # Budget left at this rung: the failed backend shut
+                    # its pool down, so the re-run respawns it fresh.
+                    continue
+                previous = self.inner.name
+                self._absorb(self.inner)
+                self.inner.shutdown()
+                self.inner = make_backend(
+                    next_name, self.workers, self.min_batch_per_worker,
+                    fault_plan=getattr(self.inner, "fault_plan", None))
+                self.degraded_to = next_name
+                self._failures_at_rung = 0
+                if self.on_degrade is not None:
+                    self.on_degrade(error, previous, next_name)
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResilientBackend({self.inner!r}, "
+                f"degraded_to={self.degraded_to!r})")
 
 
 _BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "chaos": ProcessBackend,
 }
 
 
 def make_backend(executor: str, workers: Optional[int] = None,
-                 min_batch_per_worker: int = 0) -> ExecutionBackend:
-    """Build a backend by name ("serial" | "thread" | "process").
+                 min_batch_per_worker: int = 0,
+                 task_timeout_s: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None
+                 ) -> ExecutionBackend:
+    """Build a backend by name ("serial" | "thread" | "process" |
+    "chaos").
 
     ``min_batch_per_worker`` enables adaptive dispatch on the parallel
     backends (0, the default, always shards -- see
-    :class:`ExecutionBackend`); the serial backend ignores it.
+    :class:`ExecutionBackend`); the serial backend ignores it, as it
+    does the fault-tolerance knobs.  ``chaos`` is the process backend
+    with a :class:`~repro.parallel.faults.FaultPlan` always attached:
+    ``fault_plan``, else ``$REPRO_FAULTS``, else a default seeded plan.
     """
     try:
         cls = _BACKENDS[executor]
@@ -470,4 +929,12 @@ def make_backend(executor: str, workers: Optional[int] = None,
     workers = default_workers() if workers is None else workers
     if cls is SerialBackend:
         return cls(workers=workers)
-    return cls(workers=workers, min_batch_per_worker=min_batch_per_worker)
+    if cls is ThreadBackend:
+        return cls(workers=workers,
+                   min_batch_per_worker=min_batch_per_worker,
+                   fault_plan=fault_plan)
+    if executor == "chaos" and fault_plan is None:
+        fault_plan = FaultPlan.from_env() or FaultPlan.seeded(0)
+    return cls(workers=workers, min_batch_per_worker=min_batch_per_worker,
+               task_timeout_s=task_timeout_s, max_retries=max_retries,
+               fault_plan=fault_plan)

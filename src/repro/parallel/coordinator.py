@@ -6,14 +6,26 @@ session API (the seam the ROADMAP planned for).  Its whole job is
 lifecycle:
 
 * ``on_start`` -- build the backend (workers spawn lazily on the first
-  batch) and install it on the session's cost model, so every
-  population-level consumer of the run -- GA generations, the baseline
-  optimizers, batched REINFORCE epochs -- shards through it without
-  knowing it exists.
-* ``on_teardown`` -- uninstall the backend and shut the workers down.
-  The session fires this hook on *every* exit path (budget exhausted,
-  observer early stop, method exception), which is what makes "no orphan
-  worker processes" a guarantee rather than a habit.
+  batch), wrap it in the degradation ladder
+  (:class:`~repro.parallel.backend.ResilientBackend`, unless
+  ``degrade=False``), and install it on the session's cost model, so
+  every population-level consumer of the run -- GA generations, the
+  baseline optimizers, batched REINFORCE epochs -- shards through it
+  without knowing it exists.
+* ``on_teardown`` -- snapshot the fault-tolerance counters, uninstall
+  the backend, and shut the workers down.  The session fires this hook
+  on *every* exit path (budget exhausted, observer early stop, method
+  exception), which is what makes "no orphan worker processes" a
+  guarantee rather than a habit.
+* ``on_finish`` -- surface the snapshot (``retries`` / ``respawns`` /
+  ``timeouts`` / ``pool_failures`` / ``degraded_to``) into
+  ``SessionResult.provenance["execution"]``, so a run's resilience story
+  travels with its result file.
+
+When the ladder downshifts mid-session the coordinator emits a
+``RuntimeWarning`` and a structured ``on_warning("backend-degraded",
+...)`` through the session's observer fan-out -- the run completes on
+the lower rung instead of dying.
 
 Sessions create one automatically when ``SearchSpec.executor`` resolves
 to a parallel backend; pass your own (e.g. with ``keep_alive=True``) to
@@ -26,9 +38,15 @@ reuse one worker pool across a whole comparison grid::
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import Dict, Optional
 
-from repro.parallel.backend import ExecutionBackend, make_backend
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ResilientBackend,
+    make_backend,
+)
+from repro.parallel.faults import FaultPlan
 from repro.search.callbacks import SearchObserver
 
 __all__ = ["ParallelCoordinator"]
@@ -38,50 +56,128 @@ class ParallelCoordinator(SearchObserver):
     """Observer that owns worker lifecycle for one or many sessions.
 
     Args:
-        executor: "serial" | "thread" | "process".
+        executor: "serial" | "thread" | "process" | "chaos".
         workers: Worker count (``None``: ``$REPRO_WORKERS`` or the core
             count).
         keep_alive: Keep workers running after ``on_teardown`` so the
             next run reuses them; call :meth:`close` (or use the
-            coordinator as a context manager) when done.
+            coordinator as a context manager) when done.  Fault-tolerance
+            counters accumulate across the reusing sessions.
         min_batch_per_worker: Adaptive-dispatch threshold forwarded to
             the backend (0, the default, always shards; sessions built
             from a :class:`~repro.search.spec.SearchSpec` pass the
             spec-resolved break-even so small batches skip the IPC).
+        task_timeout_s: Per-batch deadline forwarded to the process
+            backend (``None``: ``$REPRO_TASK_TIMEOUT`` or disabled; 0
+            explicitly disables).
+        max_retries: Per-batch recovery budget (``None``:
+            ``$REPRO_MAX_RETRIES`` or the default).
+        fault_plan: Deterministic fault-injection script (``None``:
+            ``$REPRO_FAULTS``, or none).
+        degrade: Wrap the backend in the process -> thread -> serial
+            degradation ladder (on by default; turn off to let retry
+            exhaustion raise instead -- what the parity tests do).
     """
 
     def __init__(self, executor: str = "process",
                  workers: Optional[int] = None,
                  keep_alive: bool = False,
-                 min_batch_per_worker: int = 0) -> None:
+                 min_batch_per_worker: int = 0,
+                 task_timeout_s: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 degrade: bool = True) -> None:
         super().__init__()
         self.executor = executor
         self.workers = workers
         self.keep_alive = keep_alive
         self.min_batch_per_worker = min_batch_per_worker
+        self.task_timeout_s = task_timeout_s
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
+        self.degrade = degrade
         self.backend: Optional[ExecutionBackend] = None
+        #: Counter snapshot from the most recent teardown (what
+        #: ``on_finish`` writes into provenance after the pool is gone).
+        self.last_stats: Optional[Dict[str, object]] = None
         self._cost_model = None
+        self._session = None
 
     # ------------------------------------------------------------------
     def on_start(self, session) -> None:
         """Install the backend on the session's shared cost model."""
         if self.backend is None:
-            self.backend = make_backend(self.executor, self.workers,
-                                        self.min_batch_per_worker)
+            inner = make_backend(
+                self.executor, self.workers, self.min_batch_per_worker,
+                task_timeout_s=self.task_timeout_s,
+                max_retries=self.max_retries,
+                fault_plan=self.fault_plan)
+            if self.degrade and inner.name != "serial":
+                self.backend = ResilientBackend(
+                    inner, on_degrade=self._on_degrade)
+            else:
+                self.backend = inner
+        self._session = session
         self._cost_model = session.cost_model
         self._cost_model.set_executor(self.backend)
 
+    def _on_degrade(self, error, from_name: str, to_name: str) -> None:
+        """Bridge a ladder downshift to the warning surfaces: a Python
+        ``RuntimeWarning`` (always) and the structured observer hook
+        (when a session is attached)."""
+        detail = {
+            "from": from_name,
+            "to": to_name,
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+        warnings.warn(
+            f"execution backend degraded {from_name} -> {to_name} "
+            f"after {type(error).__name__}: {error}",
+            RuntimeWarning, stacklevel=2)
+        session = self._session
+        if session is not None and hasattr(session, "_notify_warning"):
+            session._notify_warning("backend-degraded", detail)
+
+    def execution_stats(self) -> Optional[Dict[str, object]]:
+        """Fault-tolerance counters for the live backend (or the
+        snapshot from the last teardown once the pool is gone)."""
+        backend = self.backend
+        if backend is None:
+            return self.last_stats
+        if isinstance(backend, ResilientBackend):
+            return backend.stats()
+        return {
+            "executor": backend.name,
+            "retries": getattr(backend, "retries", 0),
+            "respawns": getattr(backend, "respawns", 0),
+            "timeouts": getattr(backend, "timeouts", 0),
+            "inline_batches": backend.inline_batches,
+            "sharded_batches": backend.sharded_batches,
+            "pool_failures": 0,
+            "degraded_to": None,
+        }
+
     def on_teardown(self) -> None:
-        """Uninstall from the cost model; stop workers unless kept alive.
+        """Snapshot counters, uninstall from the cost model, and stop
+        workers unless kept alive.
 
         Fired by the session on every exit path, including early stops
         and method exceptions.
         """
+        self.last_stats = self.execution_stats()
         if self._cost_model is not None:
             self._cost_model.set_executor(None)
             self._cost_model = None
+        self._session = None
         if not self.keep_alive:
             self.close()
+
+    def on_finish(self, result) -> None:
+        """Record the run's fault-tolerance story in its provenance."""
+        stats = self.execution_stats()
+        if stats is not None:
+            result.provenance["execution"] = dict(stats)
 
     def close(self) -> None:
         """Shut the workers down now (idempotent)."""

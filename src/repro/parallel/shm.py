@@ -114,11 +114,19 @@ class BatchBlock:
         batch = int(layer_idx.size)
         segment = shared_memory.SharedMemory(create=True,
                                              size=block_size(batch))
-        block = cls(segment, batch, owner=True)
-        np.copyto(block.inputs["layer_idx"], layer_idx, casting="no")
-        np.copyto(block.inputs["style_idx"], style_idx, casting="no")
-        np.copyto(block.inputs["pes"], pes, casting="no")
-        np.copyto(block.inputs["l1_bytes"], l1_bytes, casting="no")
+        try:
+            block = cls(segment, batch, owner=True)
+            np.copyto(block.inputs["layer_idx"], layer_idx, casting="no")
+            np.copyto(block.inputs["style_idx"], style_idx, casting="no")
+            np.copyto(block.inputs["pes"], pes, casting="no")
+            np.copyto(block.inputs["l1_bytes"], l1_bytes, casting="no")
+        except BaseException:
+            # A failure between create and return (bad dtype, view
+            # construction) would otherwise strand the OS segment --
+            # nothing else holds its name yet, so release it here.
+            segment.close()
+            segment.unlink()
+            raise
         return block
 
     @classmethod

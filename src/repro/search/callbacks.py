@@ -7,6 +7,8 @@ observers::
     on_step(step, cost, best_cost)        per budget unit consumed
     on_improvement(step, best_cost, best_assignments)
                                           whenever the feasible best improves
+    on_warning(kind, detail)              structured mid-run warnings
+                                          (e.g. backend degradation)
     on_finish(result)                     once, with the SessionResult
     on_teardown()                         once, on *every* exit path
 
@@ -70,6 +72,17 @@ class SearchObserver:
     def on_improvement(self, step: int, best_cost: float,
                        best_assignments: Optional[Tuple]) -> None:
         """Called when a new best feasible design point is found."""
+
+    def on_warning(self, kind: str, detail: dict) -> None:
+        """Called on structured mid-run warnings the search survives.
+
+        Today's only producer is the fault-tolerance layer:
+        ``kind="backend-degraded"`` with ``detail`` naming the rungs
+        (``{"from": "process", "to": "thread", "error": ...,
+        "message": ...}``) when the degradation ladder downshifts.
+        Results are unaffected (the batched kernel is pure), so the
+        default is to ignore it.
+        """
 
     def on_finish(self, result) -> None:
         """Called once with the finished
@@ -156,9 +169,14 @@ class EarlyStopping(SearchObserver):
 class CheckpointHook(SearchObserver):
     """Persist the best-so-far solution to JSON on every improvement.
 
-    Writes ``{step, best_cost, best_assignments}`` to ``path`` atomically
-    enough for a crash-resumable long search (write-then-rename is not
-    needed for these tiny documents).
+    Writes ``{step, best_cost, best_assignments, spec}`` to ``path``
+    with a write-to-temp + ``fsync`` + ``os.replace`` protocol, so a
+    reader (or a resume after a crash) only ever sees a complete
+    checkpoint -- never a torn half-write, even if the process dies
+    mid-dump.  The spec is captured from the session at ``on_start``,
+    which is what makes the file self-contained: :meth:`resume` rebuilds
+    the session from it and replays the search to the bit-identical
+    final result (every method is deterministic in its spec'd seed).
 
     Args:
         path: Destination file.
@@ -172,14 +190,17 @@ class CheckpointHook(SearchObserver):
         self.path = path
         self.every_improvements = every_improvements
         self._improvements = 0
+        self._spec_dict: Optional[dict] = None
 
     def _begin_run(self) -> None:
         super()._begin_run()
         self._improvements = 0
 
-    def on_improvement(self, step, best_cost, best_assignments) -> None:
-        import json
+    def on_start(self, session) -> None:
+        spec = getattr(session, "spec", None)
+        self._spec_dict = spec.to_dict() if spec is not None else None
 
+    def on_improvement(self, step, best_cost, best_assignments) -> None:
         self._improvements += 1
         if self._improvements % self.every_improvements:
             return
@@ -189,6 +210,48 @@ class CheckpointHook(SearchObserver):
             "best_assignments": (
                 [list(a) for a in best_assignments]
                 if best_assignments is not None else None),
+            "spec": self._spec_dict,
         }
-        with open(self.path, "w") as handle:
+        self._write_atomic(document)
+
+    def _write_atomic(self, document: dict) -> None:
+        import json
+        import os
+
+        path = os.fspath(self.path)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w") as handle:
             json.dump(document, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def resume(path, callbacks=()):
+        """Resume a crashed search from its checkpoint file.
+
+        Loads the frozen spec out of ``path`` and re-runs the session
+        from scratch.  Because every registered method is a
+        deterministic function of its spec (seed included), the replay's
+        final :class:`~repro.search.session.SessionResult` is
+        bit-identical to what the killed run would have produced -- the
+        checkpoint's ``best_cost`` is a progress floor the replay is
+        guaranteed to reach or beat.  Raises ``ValueError`` for
+        checkpoints written without a spec (pre-1.5 files or sessions
+        without one).
+        """
+        import json
+
+        with open(path) as handle:
+            document = json.load(handle)
+        spec_dict = document.get("spec")
+        if spec_dict is None:
+            raise ValueError(
+                f"checkpoint {path!r} carries no spec; it cannot seed a "
+                f"resume (re-run the original SearchSpec instead)")
+        from repro.search.session import SearchSession
+        from repro.search.spec import SearchSpec
+
+        spec = SearchSpec.from_dict(spec_dict)
+        return SearchSession(spec).run(callbacks=list(callbacks))

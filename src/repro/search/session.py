@@ -594,6 +594,13 @@ class SearchSession:
         self.cost_model = cost_model if cost_model is not None \
             else CostModel()
         self.result: Optional[SessionResult] = None
+        self._observers: Tuple[SearchObserver, ...] = ()
+
+    def _notify_warning(self, kind: str, detail: dict) -> None:
+        """Fan a structured mid-run warning out to this run's observers
+        (the fault-tolerance layer calls this on backend degradation)."""
+        for observer in self._observers:
+            observer.on_warning(kind, detail)
 
     def run(self, callbacks: Sequence[SearchObserver] = ()) -> SessionResult:
         """Run the method to its budget (or an observer stop) and return
@@ -625,7 +632,9 @@ class SearchSession:
             observers.append(ParallelCoordinator(
                 executor=executor, workers=self.spec.resolved_workers(),
                 min_batch_per_worker=(
-                    self.spec.resolved_dispatch_min_batch())))
+                    self.spec.resolved_dispatch_min_batch()),
+                task_timeout_s=self.spec.resolved_task_timeout_s()))
+        self._observers = tuple(observers)
         tracker = _Tracker(callbacks)
         context = SessionContext(
             task=self.spec.task(), budget=self.spec.budget,

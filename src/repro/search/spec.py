@@ -96,6 +96,12 @@ class SearchSpec:
             batched draw per action head per wave -- see API.md), so
             ``envs`` is part of the scenario identity, like ``seed``.
             Genome-space and two-stage methods ignore it.
+        task_timeout_s: Per-batch deadline (seconds) for the process
+            backend's supervision: a batch missing it has its hung
+            workers terminated and its lost shards re-dispatched (see
+            :class:`repro.parallel.ProcessBackend`).  ``None`` defers to
+            ``$REPRO_TASK_TIMEOUT``; ``0`` explicitly disables the
+            deadline.  Recovery never affects results, only wall-clock.
     """
 
     model: str
@@ -118,6 +124,7 @@ class SearchSpec:
     workers: Optional[int] = None
     dispatch_min_batch: Optional[int] = None
     envs: Optional[int] = None
+    task_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str):
@@ -166,6 +173,10 @@ class SearchSpec:
         if self.envs is not None and self.envs < 1:
             raise ValueError(
                 "envs must be >= 1 (or None to defer to $REPRO_ENVS)")
+        if self.task_timeout_s is not None and self.task_timeout_s < 0:
+            raise ValueError(
+                "task_timeout_s must be >= 0 (0 disables the deadline, "
+                "None defers to $REPRO_TASK_TIMEOUT)")
 
     # ------------------------------------------------------------------
     def resolved_executor(self) -> str:
@@ -209,6 +220,15 @@ class SearchSpec:
         if envs < 1:
             raise ValueError("REPRO_ENVS must be >= 1")
         return envs
+
+    def resolved_task_timeout_s(self) -> float:
+        """The effective per-batch deadline in seconds (spec,
+        ``$REPRO_TASK_TIMEOUT``, 0 = disabled)."""
+        if self.task_timeout_s is not None:
+            return float(self.task_timeout_s)
+        from repro.parallel.backend import default_task_timeout
+
+        return default_task_timeout()
 
     def resolved_dispatch_min_batch(self) -> int:
         """The effective adaptive-dispatch threshold (spec,

@@ -24,7 +24,13 @@ from repro.core.serialization import search_result_to_dict
 from repro.costmodel import CostModel
 from repro.env.spaces import ActionSpace
 from repro.models import get_model
-from repro.parallel import ProcessBackend, make_backend, shard_bounds
+from repro.parallel import (
+    FaultPlan,
+    ParallelCoordinator,
+    ProcessBackend,
+    make_backend,
+    shard_bounds,
+)
 from repro.search import SearchSession, SearchSpec, list_methods
 
 EXECUTOR_MATRIX = [("serial", 1), ("serial", 2), ("serial", 4),
@@ -76,6 +82,38 @@ def test_session_results_bit_identical_across_backends(method):
         else:
             assert observed == reference, (
                 f"{method}: {executor}x{workers} diverged from serial")
+
+
+# ----------------------------------------------------------------------
+# Kill-a-worker-mid-batch parity: recovery is invisible in the results
+# ----------------------------------------------------------------------
+#: (method, envs) cells of the crash-recovery matrix -- one GA and one
+#: episodic-RL method, scalar and vectorized stepping.  Kill batches are
+#: kept low so they land inside even the GA's short sharded-batch run.
+CRASH_MATRIX = [("ga", 1), ("reinforce", 1), ("reinforce", 8)]
+
+
+@pytest.mark.parametrize("method,envs", CRASH_MATRIX)
+def test_session_identical_after_workers_killed_mid_batch(method, envs):
+    """A fault plan killing two workers mid-search changes nothing in
+    the SessionResult -- best cost, assignments, full RNG-driven
+    history, cache hits -- versus the crash-free serial run; only the
+    recovery counters in provenance betray that anything happened."""
+    base = dict(model="mobilenet_v2", method=method, budget=24, seed=7,
+                layer_slice=4, envs=envs, dispatch_min_batch=0)
+    reference = SearchSession(SearchSpec(executor="serial", **base)).run()
+    plan = FaultPlan(kill_worker=[(0, 0), (1, 1)])
+    coordinator = ParallelCoordinator("process", workers=2,
+                                      fault_plan=plan, degrade=False)
+    recovered = SearchSession(
+        SearchSpec(executor="process", workers=2, **base)
+    ).run(callbacks=[coordinator])
+    assert _comparable(recovered) == _comparable(reference)
+    assert recovered.result.cache_hits == reference.result.cache_hits
+    execution = recovered.provenance["execution"]
+    assert execution["respawns"] == 2
+    assert execution["retries"] >= 2
+    assert execution["degraded_to"] is None
 
 
 def test_reinforce_planned_episodes_match_scalar_stepping():
