@@ -26,8 +26,18 @@ The legacy two-stage entry point (``ConfuciuX(...).run(...)``) was
 removed in 1.3 after a deprecation cycle; calling it raises guidance
 pointing at the session API above (which is bit-identical).
 
+Search as a service: :mod:`repro.service` runs the session layer behind
+a long-lived server with a job scheduler and a content-addressed result
+cache (``repro serve`` / ``submit`` / ``jobs`` / ``cache`` on the CLI;
+:class:`~repro.service.SearchServer` / :class:`~repro.service
+.ServiceClient` in Python).  Identical submissions dedup to one run; the
+next identical submission is an O(1) cache hit, bit-identical to the run
+that produced it.
+
 Subpackages:
     search      -- the unified session API (spec, registry, sessions).
+    service     -- the search service (server, job scheduler, result
+                   cache, ND-JSON transport + client).
     objectives  -- pluggable objectives (weighted/penalty/multi specs)
                    and the Pareto (non-dominated) utilities.
     parallel    -- serial/thread/process execution backends with
@@ -91,7 +101,7 @@ from repro.parallel import (
     make_backend,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Layer",
@@ -144,17 +154,28 @@ __all__ = [
     "WorkerCrashError",
     "TaskTimeoutError",
     "FaultInjected",
+    # Search as a service (lazy; see __getattr__).
+    "SearchServer",
+    "ServiceClient",
+    "ResultStore",
+    "result_key",
     "__version__",
 ]
 
 
 def __getattr__(name):
     # Lazy: ConfuciuX / JointSearch would otherwise re-enter repro.core
-    # while it is importing this package.
+    # while it is importing this package; the service layer is lazy to
+    # keep plain library imports free of socket/server modules.
     if name == "ConfuciuX":
         from repro.core.confuciux import ConfuciuX
         return ConfuciuX
     if name == "JointSearch":
         from repro.core.joint import JointSearch
         return JointSearch
+    if name in ("SearchServer", "ServiceClient", "ResultStore",
+                "result_key"):
+        import repro.service
+
+        return getattr(repro.service, name)
     raise AttributeError(name)

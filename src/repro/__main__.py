@@ -7,6 +7,12 @@ Commands:
     search               Run any registered search method on one task.
     compare              Run several methods on the same task and grid
                          the results.
+    serve                Run the search service (job scheduler + result
+                         cache) behind a local TCP port.
+    submit               Submit one search to a running service.
+    jobs                 List (or cancel) a running service's jobs.
+    cache                Inspect or clear the content-addressed result
+                         cache (via a server, or directly on disk).
 
 Examples::
 
@@ -21,6 +27,10 @@ Examples::
         --objective weighted:latency=0.5,energy=0.5
     python -m repro compare --model mobilenet_v2 \
         --methods random,ga,ppo2,reinforce --budget 150
+    python -m repro serve --port 7661 --executor process --workers 4
+    python -m repro submit --model mnasnet --method sa --budget 200
+    python -m repro jobs
+    python -m repro cache --stats
 """
 
 from __future__ import annotations
@@ -268,6 +278,154 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ResultStore, SearchServer, start_transport
+
+    store = None if args.no_cache else ResultStore(root=args.cache_dir)
+    server = SearchServer(
+        store=store,
+        max_concurrent=args.max_concurrent,
+        executor=args.executor,
+        workers=args.workers,
+        progress_every=args.progress_every,
+    )
+    transport = start_transport(server, host=args.host, port=args.port,
+                                in_thread=False)
+    host, port = transport.server_address[:2]
+    print(f"repro service on {host}:{port} "
+          f"(executor={server.executor}, "
+          f"max_concurrent={args.max_concurrent}, "
+          f"cache={'off' if store is None else store.root})",
+          flush=True)
+    try:
+        transport.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        transport.server_close()
+        server.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    method = args.method or "confuciux"
+    spec = _spec_from_args(args, method)
+    with ServiceClient(host=args.host, port=args.port,
+                       connect_timeout=args.connect_timeout) as client:
+        if args.watch:
+            final = None
+            for message in client.watch(spec, force=args.force):
+                if "ok" in message:
+                    final = message
+                else:
+                    event = message["event"]
+                    detail = {k: v for k, v in event.items()
+                              if k not in ("seq", "type", "job")}
+                    print(f"[{event['job']}] {event['type']} {detail}",
+                          flush=True)
+            job = final["job"]
+        elif args.no_wait:
+            job = client.submit(spec, force=args.force, wait=False)
+            print(f"submitted {job['id']} ({job['state']})")
+            return 0
+        else:
+            job = client.submit(spec, force=args.force, wait=False)
+            client.result(job["id"])
+            job = client.status(job["id"])
+        print(format_table(
+            ["field", "value"],
+            [
+                ["job", job["id"]],
+                ["state", job["state"]],
+                ["cached", job["cached"]],
+                ["method", job["method"]],
+                ["model", job["model"]],
+                ["best cost", job["best_cost"]],
+                ["key", job["key"][:16]],
+            ],
+            title=f"{method} on {args.model} via {args.host}:{args.port}"))
+        if args.save and job["state"] == "DONE":
+            result = client.result(job["id"])
+            result.save(args.save)
+            print(f"Saved result (spec included) to {args.save}")
+        return 0 if job["state"] == "DONE" else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(host=args.host, port=args.port,
+                       connect_timeout=args.connect_timeout) as client:
+        if args.cancel:
+            cancelled = client.cancel(args.cancel)
+            print(f"cancel {args.cancel}: "
+                  f"{'requested' if cancelled else 'no effect'}")
+            return 0
+        rows = []
+        for job in client.jobs():
+            rows.append([
+                job["id"], job["state"],
+                "hit" if job["cached"] else "-",
+                job["method"], job["model"],
+                ("-" if job["best_cost"] is None
+                 else f"{job['best_cost']:.3E}"),
+                job["key"][:12],
+            ])
+        stats = client.stats()
+    print(format_table(
+        ["job", "state", "cache", "method", "model", "best cost", "key"],
+        rows,
+        title=f"{stats['jobs']} jobs, {stats['executions']} executed "
+              f"({args.host}:{args.port}, executor {stats['executor']})"))
+    return 0
+
+
+def _print_cache_stats(stats: dict) -> None:
+    print(format_table(
+        ["metric", "value"],
+        [[key, stats[key]] for key in
+         ("root", "entries", "bytes", "hits", "memory_hits", "misses",
+          "puts", "evictions", "bypasses", "corrupt_dropped")
+         if key in stats],
+        title="Result cache"))
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        from repro.service import ServiceClient
+
+        with ServiceClient(host=args.host, port=args.port,
+                           connect_timeout=args.connect_timeout) as client:
+            if args.clear:
+                print(f"cleared {client.cache_clear()} entries")
+                return 0
+            _print_cache_stats(client.cache_stats())
+        return 0
+    from repro.service import ResultStore
+
+    store = ResultStore(root=args.cache_dir)
+    if args.clear:
+        print(f"cleared {store.clear()} entries")
+        return 0
+    _print_cache_stats(store.stats())
+    return 0
+
+
+def _add_client_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.service.transport import DEFAULT_PORT
+
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="service host (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"service port (default: {DEFAULT_PORT})")
+    parser.add_argument("--connect-timeout", type=float, default=10.0,
+                        dest="connect_timeout",
+                        help="seconds to retry the initial connection "
+                             "(covers the serve-then-submit startup race)")
+
+
 def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="mobilenet_v2",
                         choices=list_models())
@@ -365,6 +523,72 @@ def build_parser() -> argparse.ArgumentParser:
                          default="random,ga,ppo2,reinforce",
                          help="comma-separated registered method names")
     _add_task_arguments(compare)
+
+    from repro.service.transport import DEFAULT_PORT
+
+    serve = sub.add_parser("serve",
+                           help="run the search service in the foreground")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (default: {DEFAULT_PORT}; 0 binds "
+                            "an ephemeral port and prints it)")
+    serve.add_argument("--max-concurrent", type=int, default=2,
+                       dest="max_concurrent",
+                       help="sessions in flight at once (default: 2)")
+    serve.add_argument("--executor", default=None,
+                       choices=["serial", "thread", "process", "chaos"],
+                       help="shared pool backend for every job (default: "
+                            "$REPRO_EXECUTOR or serial); non-serial pools "
+                            "stay warm across jobs")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="pool worker count (default: $REPRO_WORKERS "
+                            "or auto)")
+    serve.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="result-cache root (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro/results)")
+    serve.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="disable the result cache entirely")
+    serve.add_argument("--progress-every", type=int, default=10,
+                       dest="progress_every",
+                       help="emit a job step event every N steps")
+
+    submit = sub.add_parser("submit",
+                            help="submit one search to a running service")
+    submit.add_argument("--method", default=None, choices=method_names(),
+                        help="registered search method "
+                             "(default: confuciux)")
+    submit.add_argument("--force", action="store_true",
+                        help="bypass the cache and overwrite its entry")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream the job's progress events")
+    submit.add_argument("--no-wait", action="store_true", dest="no_wait",
+                        help="return the job id immediately")
+    submit.add_argument("--save", default=None,
+                        help="write the SessionResult JSON here")
+    _add_client_arguments(submit)
+    _add_task_arguments(submit)
+
+    jobs = sub.add_parser("jobs",
+                          help="list (or cancel) a service's jobs")
+    jobs.add_argument("--cancel", default=None, metavar="JOB_ID",
+                      help="cancel this job instead of listing")
+    _add_client_arguments(jobs)
+
+    cache = sub.add_parser("cache",
+                           help="inspect or clear the result cache")
+    cache.add_argument("--stats", action="store_true",
+                       help="print cache statistics (the default action)")
+    cache.add_argument("--clear", action="store_true",
+                       help="evict every cached result")
+    cache.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="operate on this on-disk cache root "
+                            "(default: $REPRO_CACHE_DIR)")
+    cache.add_argument("--port", type=int, default=None,
+                       help="query a running service instead of the "
+                            "local directory")
+    cache.add_argument("--host", default="127.0.0.1")
+    cache.add_argument("--connect-timeout", type=float, default=10.0,
+                       dest="connect_timeout")
     return parser
 
 
@@ -376,6 +600,10 @@ def main(argv=None) -> int:
         "evaluate": cmd_evaluate,
         "search": cmd_search,
         "compare": cmd_compare,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -42,6 +42,26 @@ def method_factories(names: Iterable[str]) -> Dict[str, Callable]:
     return {name: get_method(name).factory for name in names}
 
 
+def _grid_spec(task: TaskSpec, method: str, epochs: int, seed: int,
+               envs: int):
+    """The :class:`~repro.search.spec.SearchSpec` identity of one grid
+    cell, or ``None`` when the task is not registry-representable (an
+    explicit layer list has no serializable name, so it cannot be
+    content-addressed)."""
+    if not isinstance(task.model, str):
+        return None
+    from repro.search.spec import SearchSpec
+
+    return SearchSpec(
+        model=task.model, method=method, objective=task.objective,
+        dataflow=task.dataflow, constraint_kind=task.constraint_kind,
+        platform=task.platform, budget=epochs, seed=seed, mix=task.mix,
+        num_levels=task.num_levels, max_pes=task.max_pes,
+        deployment=task.deployment, max_total_pes=task.max_total_pes,
+        max_total_l1=task.max_total_l1, layer_slice=task.layer_slice,
+        envs=envs)
+
+
 def compare_methods(
     task: TaskSpec,
     methods: Iterable[str],
@@ -52,6 +72,8 @@ def compare_methods(
     workers: Optional[int] = None,
     dispatch_min_batch: Optional[int] = None,
     envs: int = 1,
+    cache=None,
+    force: bool = False,
 ) -> Dict[str, SearchResult]:
     """Run every method on ``task`` for ``epochs`` and collect results.
 
@@ -71,8 +93,36 @@ def compare_methods(
     methods as that many lockstep episodes per wave (one batched cost
     call per layer step); unlike the executor knobs, ``envs > 1``
     changes which episodes are sampled (reproducibly per seed).
+
+    ``cache`` plugs the grid into the content-addressed result store
+    shared with the search service: pass a
+    :class:`~repro.service.store.ResultStore`, a directory path, or
+    ``True`` (the default store root).  Cells whose task is
+    registry-representable (``task.model`` is a zoo name) are looked up
+    before running and written back after -- so re-running a grid, or
+    running a grid the service already served, is O(1) per hit.  Cells
+    with explicit layer lists always run.  ``force=True`` re-runs every
+    cell and overwrites its entry.  Execution knobs (``executor`` /
+    ``workers`` / ``dispatch_min_batch``) are excluded from the identity:
+    results are bit-identical across backends, so one cached result
+    serves all of them.
     """
-    from repro.search.session import SessionContext, run_method
+    from repro.search.session import (
+        SessionContext,
+        SessionResult,
+        run_method,
+    )
+
+    store = None
+    if cache is not None and cache is not False:
+        from repro.service.store import ResultStore
+
+        if isinstance(cache, ResultStore):
+            store = cache
+        elif cache is True:
+            store = ResultStore()
+        else:
+            store = ResultStore(root=cache)
 
     cost_model = cost_model or CostModel()
     constraint = task.constraint(cost_model)
@@ -88,10 +138,25 @@ def compare_methods(
     try:
         for name in methods:
             info = get_method(name)
+            spec = (None if store is None
+                    else _grid_spec(task, name, epochs, seed, envs))
+            if spec is not None:
+                hit = store.get(spec, force=force)
+                if hit is not None:
+                    results[name] = hit.result
+                    continue
             context = SessionContext(task=task, budget=epochs, seed=seed,
                                      cost_model=cost_model,
                                      constraint=constraint, envs=envs)
             results[name] = run_method(info, context)
+            if spec is not None:
+                import repro
+
+                store.put(spec, SessionResult(
+                    spec=spec, result=results[name],
+                    provenance={"repro_version": repro.__version__,
+                                "method_kind": info.kind,
+                                "source": "compare_methods"}))
     finally:
         if backend is not None:
             cost_model.set_executor(None)

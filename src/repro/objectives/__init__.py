@@ -33,7 +33,9 @@ from repro.objectives.base import (
     WeightedObjective,
 )
 from repro.objectives.pareto import (
+    INFEASIBLE_BASE,
     ParetoArchive,
+    constrained_rows,
     crowding_distance,
     domination_matrix,
     non_dominated_mask,
@@ -69,7 +71,9 @@ __all__ = [
     "objective_cost_label",
     "BatteryLifeObjective",
     "SlaObjective",
+    "INFEASIBLE_BASE",
     "ParetoArchive",
+    "constrained_rows",
     "domination_matrix",
     "non_dominated_mask",
     "non_dominated_sort",

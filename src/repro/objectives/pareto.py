@@ -4,9 +4,16 @@ All functions operate on a ``(n, k)`` float array of objective values,
 minimized componentwise.  Domination is the standard weak form: ``a``
 dominates ``b`` iff ``a <= b`` in every component and ``a < b`` in at
 least one -- so exact duplicates never dominate each other and share a
-front.  Infinities are legal (infeasible points are conventionally scored
-``+inf`` in every component, which puts them behind every feasible
-point).
+front.  Infinities are legal.
+
+Infeasible points are handled by *encoding*, not by a second dominance
+rule: :func:`constrained_rows` rewrites every infeasible row to a huge
+finite base scaled by its normalized constraint violation (Deb's
+constrained-domination order expressed as plain values).  Any feasible
+point then dominates any infeasible one, a smaller violation dominates a
+larger one, and equal violations co-front -- all through the same
+vectorized machinery below, with feasible-only fronts provably
+unchanged.
 
 The sorts are deterministic functions of the input order: peeling
 preserves index order within each front, which is what makes Pareto
@@ -20,12 +27,19 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "INFEASIBLE_BASE",
+    "constrained_rows",
     "domination_matrix",
     "non_dominated_mask",
     "non_dominated_sort",
     "crowding_distance",
     "ParetoArchive",
 ]
+
+#: Every infeasible row's components start here -- far above any real
+#: objective value, far below ``inf`` so violation ordering survives
+#: arithmetic.
+INFEASIBLE_BASE = 1e30
 
 
 def _as_values(values) -> np.ndarray:
@@ -36,6 +50,45 @@ def _as_values(values) -> np.ndarray:
         raise ValueError(
             f"objective values must be a (n, k) array, got shape "
             f"{values.shape}")
+    return values
+
+
+def constrained_rows(values, feasible, violation) -> np.ndarray:
+    """Encode constraint violations into the objective matrix.
+
+    Returns a copy of the ``(n, k)`` matrix where every infeasible row
+    (``feasible[i]`` false) is replaced, in all ``k`` components, by
+    ``INFEASIBLE_BASE * (1 + violation[i])`` with the violation clipped
+    at zero.  Under the weak dominance above this reproduces Deb's
+    constrained-domination principle:
+
+    * every feasible point dominates every infeasible point (its finite
+      objective values sit far below the base);
+    * between infeasible points, strictly smaller violation dominates;
+    * equal violations are exact duplicates and co-front.
+
+    Feasible rows are returned bit-for-bit untouched, so feasible-only
+    inputs (and the feasible prefix of any front ranking) are identical
+    to the unconstrained sort.
+
+    Args:
+        values: ``(n, k)`` objective matrix (minimized).
+        feasible: ``(n,)`` boolean mask.
+        violation: ``(n,)`` nonnegative violation magnitudes, already
+            normalized (e.g. ``max(0, used - budget) / budget``);
+            anything negative is treated as 0.
+    """
+    values = np.array(_as_values(values), copy=True)
+    feasible = np.asarray(feasible, dtype=bool).reshape(-1)
+    violation = np.asarray(violation, dtype=np.float64).reshape(-1)
+    if not (len(values) == len(feasible) == len(violation)):
+        raise ValueError(
+            f"values ({len(values)}), feasible ({len(feasible)}) and "
+            f"violation ({len(violation)}) lengths differ")
+    infeasible = ~feasible
+    if infeasible.any():
+        scale = 1.0 + np.maximum(violation[infeasible], 0.0)
+        values[infeasible] = (INFEASIBLE_BASE * scale)[:, None]
     return values
 
 

@@ -30,6 +30,7 @@ from repro.objectives import (
     CostTotals,
     MultiObjective,
     ParetoArchive,
+    constrained_rows,
     crowding_distance,
     non_dominated_sort,
 )
@@ -80,9 +81,15 @@ class ParetoGA(GenomeOptimizer):
         return MultiObjective([objective])
 
     def _component_rows(self, outcomes) -> np.ndarray:
-        """(n, k) objective matrix; infeasible points score +inf in every
-        component, putting them behind all feasible points in the
-        dominance order (mirroring the scalar GA's inf fitness).
+        """(n, k) objective matrix under constrained dominance.
+
+        Feasible rows carry their true component values; infeasible rows
+        are re-encoded by :func:`~repro.objectives.pareto
+        .constrained_rows` to a huge finite base scaled by normalized
+        budget violation, so selection pressure points infeasible
+        individuals *toward* the feasible region (smaller violation
+        dominates) instead of scoring them all identically ``+inf``.
+        Feasible-only generations are bit-identical to the plain sort.
 
         The generation's aggregate figures are gathered into four arrays
         and evaluated in *one* vectorized ``evaluate_components`` call --
@@ -101,8 +108,20 @@ class ParetoGA(GenomeOptimizer):
             self._multi.evaluate_components(totals).T)
         feasible = np.fromiter((outcome.feasible for outcome in outcomes),
                                bool, count=n)
-        rows[~feasible] = np.inf
-        return rows
+        used = np.fromiter((outcome.used for outcome in outcomes),
+                           np.float64, count=n)
+        budget = self._constraint_budget()
+        violation = np.maximum(0.0, used - budget) / budget
+        return constrained_rows(rows, feasible, violation)
+
+    def _constraint_budget(self) -> float:
+        """The scalar budget ``EvalResult.used`` is measured against
+        (platform area/power budget, or the FPGA PE cap)."""
+        constraint = self._evaluator.constraint
+        budget = getattr(constraint, "budget", None)
+        if budget is None:
+            budget = float(constraint.max_pes)
+        return float(budget)
 
     def _score(self, population: List[List[int]]):
         """The generation's (n, k) value matrix, or ``None`` when the

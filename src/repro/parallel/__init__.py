@@ -43,7 +43,7 @@ from repro.parallel.backend import (
     make_backend,
     shard_bounds,
 )
-from repro.parallel.coordinator import ParallelCoordinator
+from repro.parallel.coordinator import ParallelCoordinator, PoolLease
 from repro.parallel.errors import (
     ExecutionError,
     FaultInjected,
@@ -64,6 +64,7 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "ParallelCoordinator",
+    "PoolLease",
     "ProcessBackend",
     "ResilientBackend",
     "SerialBackend",

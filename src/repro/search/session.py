@@ -380,6 +380,13 @@ def run_two_stage(info: MethodInfo, context: SessionContext) -> SearchResult:
     short fine-tune stage runs unobserved and is reflected in the final
     result.  The pipeline builds its own platform constraint exactly as
     the legacy ``ConfuciuX(...)`` path did, so results are bit-identical.
+
+    ``SearchSpec.envs`` applies to the global RL stage exactly as it
+    does to the standalone episodic methods: with ``envs > 1`` the
+    pipeline's internally built env is wrapped in a
+    :class:`~repro.env.vector.VectorHWAssignmentEnv`, so REINFORCE rolls
+    lockstep episode waves with one batched cost call per layer step
+    (single-env waves are bit-identical to scalar stepping).
     """
     task = context.task
     builder = info.factory(seed=context.seed)
@@ -396,7 +403,14 @@ def run_two_stage(info: MethodInfo, context: SessionContext) -> SearchResult:
         constraint=(context.constraint
                     if task.constraint_kind == "resource" else None),
     )
-    if context.tracker.active:
+    if context.envs > 1:
+        from repro.env.vector import VectorHWAssignmentEnv
+
+        pipeline.env = VectorHWAssignmentEnv(pipeline.env, context.envs)
+        if context.tracker.active:
+            pipeline.env = _ObservedVectorEnv(pipeline.env,
+                                              context.tracker)
+    elif context.tracker.active:
         pipeline.env = _ObservedEnv(pipeline.env, context.tracker)
     started = time.perf_counter()
     try:
@@ -617,13 +631,14 @@ class SearchSession:
         not, results are bit-identical.
         """
         import repro
-        from repro.parallel import ParallelCoordinator
+        from repro.parallel import ParallelCoordinator, PoolLease
 
         observers = list(callbacks)
         executor = self.spec.resolved_executor()
         if (executor != "serial"
                 and self.cost_model.executor is None
-                and not any(isinstance(observer, ParallelCoordinator)
+                and not any(isinstance(observer,
+                                       (ParallelCoordinator, PoolLease))
                             for observer in observers)):
             # Session-owned coordinator: lifecycle only, not tracking --
             # the tracker keeps observing just the user's callbacks.  A

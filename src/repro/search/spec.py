@@ -95,7 +95,8 @@ class SearchSpec:
             reproducible scenario whose RNG stream is wave-major (one
             batched draw per action head per wave -- see API.md), so
             ``envs`` is part of the scenario identity, like ``seed``.
-            Genome-space and two-stage methods ignore it.
+            Two-stage methods apply it to their global RL stage;
+            genome-space methods ignore it.
         task_timeout_s: Per-batch deadline (seconds) for the process
             backend's supervision: a batch missing it has its hung
             workers terminated and its lost shards re-dispatched (see

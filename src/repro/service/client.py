@@ -1,0 +1,165 @@
+"""Thin Python client for the ND-JSON service transport.
+
+:class:`ServiceClient` speaks :mod:`repro.service.transport`'s
+one-line-JSON protocol over a TCP socket -- the same surface as the
+``repro submit`` / ``repro jobs`` / ``repro cache`` CLI, importable::
+
+    with ServiceClient(port=7661) as client:
+        result = client.submit(spec)           # SessionResult, blocks
+        job = client.submit(spec, wait=False)  # dict summary, async
+        client.status(job["id"])
+        client.cache_stats()
+
+One client holds one connection and is not thread-safe; create one per
+thread.  ``connect_timeout`` retries the initial connection with a short
+backoff so a client started alongside ``repro serve`` (the CI pattern)
+wins the startup race without sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Iterator, List, Optional, Union
+
+from repro.search.session import SessionResult
+from repro.search.spec import SearchSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false`` (message is the server's)."""
+
+
+class ServiceClient:
+    """One connection to a running search service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7661,
+                 connect_timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        deadline = time.monotonic() + connect_timeout
+        delay = 0.05
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port),
+                                                      timeout=connect_timeout)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 0.5)
+        self._sock.settimeout(None)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def _send(self, request: dict) -> None:
+        self._sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def _call(self, request: dict) -> dict:
+        self._send(request)
+        response = self._recv()
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown error"))
+        return response
+
+    @staticmethod
+    def _result_of(response: dict) -> SessionResult:
+        if response["job"]["state"] != "DONE":
+            raise ServiceError(
+                response.get("error")
+                or f"job {response['job']['id']} "
+                   f"{response['job']['state']}")
+        return SessionResult.from_dict(response["result"])
+
+    # ------------------------------------------------------------------
+    def ping(self) -> str:
+        """Server's repro version (also: liveness check)."""
+        return self._call({"op": "ping"})["version"]
+
+    def submit(self, spec: SearchSpec, force: bool = False,
+               wait: bool = True,
+               timeout: Optional[float] = None
+               ) -> Union[SessionResult, dict]:
+        """Submit a spec.
+
+        ``wait=True`` (default) blocks until terminal and returns the
+        :class:`~repro.search.session.SessionResult`; ``wait=False``
+        returns the job-summary dict immediately (poll via
+        :meth:`status` / :meth:`result`).  ``force`` bypasses the cache
+        and overwrites the entry when done.
+        """
+        request = {"op": "submit", "spec": spec.to_dict(),
+                   "force": force, "wait": wait}
+        if timeout is not None:
+            request["timeout"] = timeout
+        response = self._call(request)
+        if not wait:
+            return response["job"]
+        return self._result_of(response)
+
+    def watch(self, spec: SearchSpec,
+              force: bool = False) -> Iterator[dict]:
+        """Submit and stream the job's events as dicts.
+
+        The final yielded item is the terminal response (has an ``ok``
+        key and the job summary / result document).
+        """
+        self._send({"op": "submit", "spec": spec.to_dict(),
+                    "force": force, "watch": True})
+        while True:
+            message = self._recv()
+            yield message
+            if "ok" in message:
+                return
+
+    def status(self, job_id: str) -> dict:
+        return self._call({"op": "status", "job": job_id})["job"]
+
+    def result(self, job_id: str, wait: bool = True,
+               timeout: Optional[float] = None) -> SessionResult:
+        request = {"op": "result", "job": job_id, "wait": wait}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._result_of(self._call(request))
+
+    def jobs(self) -> List[dict]:
+        return self._call({"op": "jobs"})["jobs"]
+
+    def cancel(self, job_id: str) -> bool:
+        return self._call({"op": "cancel", "job": job_id})["cancelled"]
+
+    def cache_stats(self) -> dict:
+        return self._call({"op": "cache", "action": "stats"})["stats"]
+
+    def cache_clear(self) -> int:
+        return self._call({"op": "cache", "action": "clear"})["cleared"]
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the transport to stop accepting connections."""
+        self._call({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -82,6 +82,47 @@ class TestRunner:
         for result in results.values():
             assert len(result.history) == 20
 
+    def test_compare_methods_cache_hits_and_interop(self, cost_model,
+                                                    tmp_path):
+        """The grid shares the service's content-addressed store: a
+        second identical grid is all hits (and bit-identical up to wall
+        clock), the service can read what the grid wrote, and
+        ``force=True`` re-runs."""
+        from repro.service import ResultStore, SearchServer
+
+        store = ResultStore(root=tmp_path / "cache")
+        task = TaskSpec(model="mnasnet", layer_slice=3, platform="cloud")
+        first = compare_methods(task, ["random", "ga"], epochs=20,
+                                cost_model=cost_model, cache=store)
+        assert store.stats()["entries"] == 2
+        second = compare_methods(task, ["random", "ga"], epochs=20,
+                                 cost_model=cost_model, cache=store)
+        assert store.hits >= 2
+        for name in first:
+            assert second[name].best_cost == first[name].best_cost
+            assert second[name].history == first[name].history
+        with SearchServer(store=store, executor="serial") as server:
+            from repro.experiments.runner import _grid_spec
+
+            spec = _grid_spec(task, "random", 20, 0, 1)
+            job = server.submit(spec).wait(timeout=60)
+            assert job.cached
+            assert server.executions == 0
+        forced = compare_methods(task, ["random"], epochs=20,
+                                 cost_model=cost_model, cache=store,
+                                 force=True)
+        assert forced["random"].best_cost == first["random"].best_cost
+
+    def test_compare_methods_layer_list_tasks_skip_the_cache(
+            self, tiny_model, cost_model, tmp_path):
+        from repro.service import ResultStore
+
+        store = ResultStore(root=tmp_path / "cache")
+        task = TaskSpec(model=tiny_model, platform="cloud")
+        compare_methods(task, ["random"], epochs=10,
+                        cost_model=cost_model, cache=store)
+        assert store.stats()["entries"] == 0
+
     def test_run_row_and_formatting(self, cost_model):
         task = TaskSpec(model="ncf", platform="cloud")
         results = run_row(task, ["random", "ga"], epochs=25,

@@ -200,3 +200,78 @@ class TestCheckpointResume:
         assert resumed.best_cost == serial.best_cost
         assert resumed.result.history == serial.result.history
         assert not _orphan_workers()
+
+
+class TestPoolLease:
+    """One keep-alive pool shared by *concurrent* sessions through
+    per-session leases (the search service's execution model): batch
+    evaluations from all lessees serialize on the pool lock, so
+    interleaved sessions are bit-identical to serial runs."""
+
+    def test_two_interleaved_sessions_match_serial_bit_for_bit(self):
+        import threading
+
+        specs = [_spec(seed=seed) for seed in (1, 2)]
+        serial = [SearchSession(spec.replace(executor="serial")).run()
+                  for spec in specs]
+        with ParallelCoordinator("process", workers=2,
+                                 keep_alive=True) as pool:
+            results = [None, None]
+            barrier = threading.Barrier(2)
+
+            def run(index):
+                barrier.wait()
+                results[index] = SearchSession(specs[index]).run(
+                    callbacks=[pool.lease()])
+
+            threads = [threading.Thread(target=run, args=(index,))
+                       for index in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert pool.alive_workers == 2
+            for outcome, reference in zip(results, serial):
+                assert outcome.best_cost == reference.best_cost
+                assert outcome.result.history == reference.result.history
+                assert outcome.result.best_genome \
+                    == reference.result.best_genome
+        assert pool.alive_workers == 0
+        assert not _orphan_workers()
+
+    def test_lease_detach_leaves_the_pool_warm(self):
+        with ParallelCoordinator("process", workers=2,
+                                 keep_alive=True) as pool:
+            first = SearchSession(_spec(seed=1)).run(
+                callbacks=[pool.lease()])
+            assert pool.alive_workers == 2
+            second = SearchSession(_spec(seed=1)).run(
+                callbacks=[pool.lease()])
+            assert second.best_cost == first.best_cost
+            assert second.result.history == first.result.history
+        assert pool.alive_workers == 0
+        assert not _orphan_workers()
+
+    def test_non_keep_alive_pool_outlives_the_first_detach(self):
+        """With overlapping lessees the pool must survive until the
+        *last* session detaches, keep_alive or not."""
+        import threading
+
+        pool = ParallelCoordinator("process", workers=2)
+        barrier = threading.Barrier(2)
+        results = [None, None]
+
+        def run(index):
+            barrier.wait()
+            results[index] = SearchSession(_spec(seed=index)).run(
+                callbacks=[pool.lease()])
+
+        threads = [threading.Thread(target=run, args=(index,))
+                   for index in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert all(outcome is not None for outcome in results)
+        assert pool.alive_workers == 0
+        assert not _orphan_workers()

@@ -147,6 +147,96 @@ class TestParetoArchive:
 
 
 # ----------------------------------------------------------------------
+# Constraint-aware dominance (satellite): infeasible points rank by
+# violation magnitude instead of collapsing into one all-inf bucket.
+# ----------------------------------------------------------------------
+class TestConstrainedDominance:
+    def test_feasible_rows_are_bit_identical(self):
+        from repro.objectives import constrained_rows
+
+        values = np.array([[1.0, 2.0], [3.0, 0.5], [2.0, 2.0]])
+        rows = constrained_rows(values, [True] * 3, [0.0] * 3)
+        np.testing.assert_array_equal(rows, values)
+
+    def test_input_matrix_is_not_mutated(self):
+        from repro.objectives import constrained_rows
+
+        values = np.array([[1.0, 2.0], [3.0, 0.5]])
+        kept = values.copy()
+        constrained_rows(values, [True, False], [0.0, 1.0])
+        np.testing.assert_array_equal(values, kept)
+
+    def test_every_feasible_point_dominates_every_infeasible(self):
+        from repro.objectives import INFEASIBLE_BASE, constrained_rows
+
+        values = np.array([[9e5, 9e5], [1.0, 1.0]])
+        rows = constrained_rows(values, [True, False], [0.0, 0.0])
+        ranks = non_dominated_sort(rows)
+        # The feasible point leads despite far worse raw objectives.
+        assert ranks[0] == 0 and ranks[1] == 1
+        assert (rows[1] >= INFEASIBLE_BASE).all()
+
+    def test_infeasible_points_rank_by_violation(self):
+        from repro.objectives import constrained_rows
+
+        values = np.array([[5.0, 5.0], [1.0, 1.0], [2.0, 2.0]])
+        rows = constrained_rows(values, [True, False, False],
+                                [0.0, 0.5, 0.1])
+        ranks = non_dominated_sort(rows)
+        assert ranks[0] == 0
+        assert ranks[2] < ranks[1]  # smaller violation ranks ahead
+
+    def test_equal_violations_share_a_front(self):
+        from repro.objectives import constrained_rows
+
+        values = np.array([[1.0, 4.0], [4.0, 1.0]])
+        rows = constrained_rows(values, [False, False], [0.3, 0.3])
+        ranks = non_dominated_sort(rows)
+        assert ranks[0] == ranks[1]
+
+    def test_negative_violation_clamps_to_zero(self):
+        from repro.objectives import constrained_rows
+
+        values = np.array([[1.0, 1.0], [1.0, 1.0]])
+        rows = constrained_rows(values, [False, False], [-1.0, 0.0])
+        np.testing.assert_array_equal(rows[0], rows[1])
+
+    def test_length_mismatch_raises(self):
+        from repro.objectives import constrained_rows
+
+        with pytest.raises(ValueError):
+            constrained_rows(np.ones((2, 2)), [True], [0.0, 0.0])
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=value_matrices(), data=st.data())
+    def test_front_zero_parity_with_legacy_inf_encoding(self, values,
+                                                        data):
+        """Feasible-only fronts are unchanged: front 0 under the
+        violation encoding equals front 0 under the old all-inf
+        encoding whenever any feasible point exists, and feasible rows
+        pass through untouched."""
+        from repro.objectives import constrained_rows
+
+        n = len(values)
+        if n == 0:
+            return
+        feasible = np.array(data.draw(st.lists(
+            st.booleans(), min_size=n, max_size=n)))
+        violation = np.where(feasible, 0.0, data.draw(st.lists(
+            st.floats(0.0, 50.0, allow_nan=False),
+            min_size=n, max_size=n)))
+        rows = constrained_rows(values, feasible, violation)
+        np.testing.assert_array_equal(rows[feasible], values[feasible])
+        if not feasible.any():
+            return
+        legacy = values.copy()
+        legacy[~feasible] = np.inf
+        np.testing.assert_array_equal(
+            non_dominated_sort(rows) == 0,
+            non_dominated_sort(legacy) == 0)
+
+
+# ----------------------------------------------------------------------
 # The registered pareto-ga method
 # ----------------------------------------------------------------------
 def _pareto_spec(**overrides) -> SearchSpec:

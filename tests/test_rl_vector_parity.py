@@ -205,3 +205,59 @@ class TestEnvsGreaterThanOne:
         scalar = SearchSession(spec).run()
         vector = SearchSession(spec.replace(envs=8)).run()
         assert_results_equal(scalar.result, vector.result)
+
+
+class TestTwoStageEnvs:
+    """``envs`` now reaches the two-stage pipeline's global RL stage
+    (ROADMAP 5c): single-env waves stay bit-identical, multi-env waves
+    are a reproducible new scenario, and observers still see one
+    ``on_step`` per finished global episode."""
+
+    def _spec(self, **overrides) -> SearchSpec:
+        base = dict(model="mobilenet_v2", method="confuciux", budget=6,
+                    seed=0, layer_slice=5, finetune=2)
+        base.update(overrides)
+        return SearchSpec(**base)
+
+    def test_envs_one_equals_default_two_stage(self):
+        scalar = SearchSession(self._spec()).run()
+        vector = SearchSession(self._spec(envs=1)).run()
+        assert_results_equal(scalar.result, vector.result)
+        assert vector.provenance["envs"] == 1
+
+    def test_wave_runs_are_reproducible_and_spend_the_budget(self):
+        spec = self._spec(budget=7, envs=3, finetune=0)
+        first = SearchSession(spec).run()
+        second = SearchSession(spec).run()
+        assert_results_equal(first.result, second.result)
+        assert first.result.episodes == 7
+        assert first.provenance["envs"] == 3
+
+    def test_finetune_stage_still_runs_after_vector_global_stage(self):
+        outcome = SearchSession(self._spec(budget=8, envs=4,
+                                           finetune=3)).run()
+        assert outcome.result.episodes >= 8
+        assert "global_cost" in outcome.result.extra
+        assert "finetune_cost" in outcome.result.extra
+
+    def test_observers_see_global_episodes_inside_waves(self):
+        from repro.search.callbacks import SearchObserver
+
+        class Recorder(SearchObserver):
+            def __init__(self):
+                super().__init__()
+                self.steps = 0
+
+            def on_step(self, step, cost, best_cost):
+                self.steps = step
+                return False
+
+        recorder = Recorder()
+        SearchSession(self._spec(budget=6, envs=3, finetune=0)).run(
+            callbacks=[recorder])
+        assert recorder.steps == 6
+
+    def test_early_stop_unwinds_the_vector_global_stage(self):
+        stopped = SearchSession(self._spec(budget=40, envs=4)).run(
+            callbacks=[EarlyStopping(patience=2)])
+        assert stopped.stopped_early

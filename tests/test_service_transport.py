@@ -1,0 +1,157 @@
+"""The ND-JSON transport and its Python client, over a real socket.
+
+One ephemeral-port server per test class; the tests drive the same wire
+operations the ``repro submit`` / ``jobs`` / ``cache`` CLI uses, plus
+protocol-level edge cases (bad JSON, unknown ops, errors crossing the
+boundary) that the client never generates itself.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.search.spec import SearchSpec
+from repro.service import (
+    ResultStore,
+    SearchServer,
+    ServiceClient,
+    ServiceError,
+    probe,
+    start_transport,
+)
+
+
+def _spec(**overrides) -> SearchSpec:
+    base = dict(model="mnasnet", method="random", budget=40, seed=0,
+                layer_slice=3)
+    base.update(overrides)
+    return SearchSpec(**base)
+
+
+@pytest.fixture
+def service(tmp_path):
+    server = SearchServer(store=ResultStore(root=tmp_path / "cache"),
+                          executor="serial", progress_every=5)
+    transport = start_transport(server, port=0)
+    try:
+        yield transport.server_address[1]
+    finally:
+        transport.shutdown()
+        transport.server_close()
+        server.close()
+
+
+class TestClient:
+    def test_ping_and_probe(self, service):
+        import repro
+
+        with ServiceClient(port=service) as client:
+            assert client.ping() == repro.__version__
+        assert probe("127.0.0.1", service)
+        assert not probe("127.0.0.1", 1)  # nothing listens there
+
+    def test_submit_roundtrip_and_cache_hit(self, service):
+        with ServiceClient(port=service) as client:
+            first = client.submit(_spec())
+            second = client.submit(_spec())
+            assert second.to_dict() == first.to_dict()
+            stats = client.stats()
+            assert stats["executions"] == 1
+            assert stats["cache"]["hits"] == 1
+
+    def test_async_submit_status_result(self, service):
+        with ServiceClient(port=service) as client:
+            job = client.submit(_spec(), wait=False)
+            assert job["id"].startswith("j")
+            result = client.result(job["id"])
+            status = client.status(job["id"])
+            assert status["state"] == "DONE"
+            assert result.spec == _spec()
+
+    def test_watch_streams_events_then_final_response(self, service):
+        with ServiceClient(port=service) as client:
+            messages = list(client.watch(_spec()))
+            final = messages[-1]
+            assert final["ok"] and final["job"]["state"] == "DONE"
+            events = [m["event"] for m in messages[:-1]]
+            assert events, "expected at least the state events"
+            assert all("ok" not in m for m in messages[:-1])
+            assert events[-1]["type"] == "state"
+
+    def test_jobs_listing_and_cancel_noop(self, service):
+        with ServiceClient(port=service) as client:
+            client.submit(_spec())
+            jobs = client.jobs()
+            assert len(jobs) == 1 and jobs[0]["state"] == "DONE"
+            assert not client.cancel(jobs[0]["id"])
+
+    def test_cache_stats_and_clear_over_the_wire(self, service):
+        with ServiceClient(port=service) as client:
+            client.submit(_spec())
+            assert client.cache_stats()["entries"] == 1
+            assert client.cache_clear() == 1
+            assert client.cache_stats()["entries"] == 0
+
+    def test_force_over_the_wire(self, service):
+        with ServiceClient(port=service) as client:
+            client.submit(_spec())
+            client.submit(_spec(), force=True)
+            assert client.stats()["executions"] == 2
+
+    def test_error_crosses_the_boundary_typed(self, service):
+        with ServiceClient(port=service) as client:
+            with pytest.raises(ServiceError):
+                client.status("j999")
+            # The connection survives an error response.
+            assert client.ping()
+
+    def test_connect_retry_gives_up_cleanly(self):
+        with pytest.raises(OSError):
+            ServiceClient(port=1, connect_timeout=0.2)
+
+
+class TestWireProtocol:
+    def _raw(self, port, lines):
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            responses = []
+            for line in lines:
+                handle.write(line.encode("utf-8") + b"\n")
+                handle.flush()
+                responses.append(
+                    json.loads(handle.readline().decode("utf-8")))
+            return responses
+
+    def test_bad_json_yields_an_error_line(self, service):
+        bad, good = self._raw(service, ["{not json", '{"op": "ping"}'])
+        assert bad["ok"] is False and "bad request" in bad["error"]
+        assert good["ok"] is True
+
+    def test_non_object_request_is_rejected(self, service):
+        response, = self._raw(service, ['["op", "ping"]'])
+        assert response["ok"] is False
+
+    def test_unknown_op_is_rejected(self, service):
+        response, = self._raw(service, ['{"op": "frobnicate"}'])
+        assert response["ok"] is False
+        assert "frobnicate" in response["error"]
+
+    def test_invalid_spec_surfaces_as_error(self, service):
+        response, = self._raw(
+            service,
+            ['{"op": "submit", "spec": {"model": "nope"}}'])
+        assert response["ok"] is False
+        assert "nope" in response["error"]
+
+    def test_blank_lines_are_ignored(self, service):
+        with socket.create_connection(("127.0.0.1", service),
+                                      timeout=10) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"\n\n" + b'{"op": "ping"}\n')
+            handle.flush()
+            response = json.loads(handle.readline().decode("utf-8"))
+            assert response["ok"] is True
