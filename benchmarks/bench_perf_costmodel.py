@@ -1,16 +1,21 @@
-"""Perf tracker: scalar-loop vs batched population evaluation.
+"""Perf tracker: scalar-loop vs batched vs fused population evaluation.
 
 Times the repository's hottest path -- evaluating a whole search
-population against the analytical cost model -- both ways on a fixed
-workload (20 MobileNet-V2 layers x 512 random design points, cold caches)
-and writes ``BENCH_costmodel.json`` at the repo root:
+population against the analytical cost model -- on a fixed workload
+(20 MobileNet-V2 layers x 512 random design points, cold caches) and
+writes ``BENCH_costmodel.json`` at the repo root:
 
-    {"scalar_s": ..., "batched_s": ..., "speedup": ...}
+    {"scalar_s": ..., "batched_s": ..., "speedup": ...,
+     "fused_s": ..., "fused_speedup_x": ..., "fused32_speedup_x": ...}
 
 so the perf trajectory is tracked across future PRs.  The batched engine
 must beat the scalar loop by >= 10x on this workload (the acceptance bar
-of the PR that introduced it); parity of every returned cost is asserted
-while we are at it.
+of the PR that introduced it), and the fused tensor program must beat
+the batched kernel by >= 1.5x on the kernel-level population batch
+(the bar of the PR that introduced the fused kernels; ``fused32`` --
+and ``fused_jit`` when numba is importable -- are recorded but not
+gated).  Bit parity of every returned cost is asserted while we are at
+it.
 """
 
 from __future__ import annotations
@@ -25,7 +30,15 @@ import numpy as np
 from repro.core.constraints import platform_constraint
 from repro.core.evaluator import DesignPointEvaluator
 from repro.core.reporting import format_table
-from repro.costmodel import CostModel
+from repro.costmodel import (
+    DEFAULT_HW,
+    CostModel,
+    LayerTable,
+    STYLE_INDEX,
+    compile_program,
+    evaluate_with_kernel,
+    numba_available,
+)
 from repro.env.spaces import ActionSpace
 from repro.models import get_model
 
@@ -36,6 +49,8 @@ POPULATION = 512
 #: Repetitions per path; the minimum is reported (standard perf practice:
 #: the floor is the honest number, the rest is GC/scheduler jitter).
 REPEATS = 3
+#: Kernel-level timings are ~1ms per call, so take many more samples.
+KERNEL_REPEATS = 30
 
 
 def _make_evaluator(layers, space, constraint):
@@ -81,10 +96,62 @@ def test_perf_costmodel(save_report):
         assert scalar.used == batched.used
 
     speedup = scalar_s / batched_s
+
+    # ------------------------------------------------------------------
+    # Kernel-level: the batched reference vs the fused tensor programs
+    # on one (population x layers) single-style batch -- the exact call
+    # the searches spend their time in.
+    # ------------------------------------------------------------------
+    table = LayerTable.build(layers)
+    rng = np.random.default_rng(1)
+    batch_n = POPULATION * NUM_LAYERS
+    layer_idx = np.tile(np.arange(NUM_LAYERS), POPULATION)
+    style_idx = np.full(batch_n, STYLE_INDEX["dla"], dtype=np.int64)
+    pes = rng.integers(1, 600, size=batch_n)
+    l1 = rng.integers(1, 12_000, size=batch_n)
+
+    def _time_kernel(fn):
+        fn()  # warm scratch buffers / JIT before the clock starts
+        best = float("inf")
+        gc.collect()
+        for _ in range(KERNEL_REPEATS):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    kernel_batched_s = _time_kernel(lambda: evaluate_with_kernel(
+        "batched", DEFAULT_HW, table, layer_idx, style_idx, pes, l1))
+
+    kernel_rows = [["batched kernel", f"{kernel_batched_s * 1e3:.3f}", ""]]
+    kernel_speedups = {}
+    kinds = ["fused", "fused32"] + (["fused-jit"] if numba_available()
+                                    else [])
+    for kind in kinds:
+        program = compile_program(DEFAULT_HW, table, kind)
+        seconds = _time_kernel(lambda: program.evaluate(
+            layer_idx, style_idx, pes, l1))
+        key = kind.replace("-", "_")
+        kernel_speedups[f"{key}_s"] = seconds
+        kernel_speedups[f"{key}_speedup_x"] = kernel_batched_s / seconds
+        kernel_rows.append([f"{kind} kernel", f"{seconds * 1e3:.3f}",
+                            f"{kernel_batched_s / seconds:.2f}x"])
+
+    # The fused float64 program must be bit-identical to the reference.
+    reference = evaluate_with_kernel("batched", DEFAULT_HW, table,
+                                     layer_idx, style_idx, pes, l1)
+    fused_report = compile_program(DEFAULT_HW, table, "fused").evaluate(
+        layer_idx, style_idx, pes, l1)
+    assert np.array_equal(reference.latency_cycles,
+                          fused_report.latency_cycles)
+    assert np.array_equal(reference.energy_nj, fused_report.energy_nj)
+
     payload = {
         "scalar_s": scalar_s,
         "batched_s": batched_s,
         "speedup": speedup,
+        "kernel_batched_s": kernel_batched_s,
+        **kernel_speedups,
     }
     (REPO_ROOT / "BENCH_costmodel.json").write_text(
         json.dumps(payload, indent=2) + "\n")
@@ -101,7 +168,16 @@ def test_perf_costmodel(save_report):
         title=f"Cost-model perf -- {NUM_LAYERS} layers x {POPULATION} "
               f"points, cold cache",
     ))
+    save_report("perf_costmodel_kernels", format_table(
+        ["kernel", "wall time (ms)", "vs batched"],
+        kernel_rows,
+        title=f"Kernel-level -- one dla batch of {batch_n} points",
+    ))
 
     assert speedup >= 10.0, (
         f"batched path only {speedup:.1f}x faster than the scalar loop"
+    )
+    assert kernel_speedups["fused_speedup_x"] >= 1.5, (
+        f"fused program only {kernel_speedups['fused_speedup_x']:.2f}x "
+        f"faster than the batched kernel"
     )

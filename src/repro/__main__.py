@@ -143,6 +143,7 @@ def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
             dispatch_min_batch=args.dispatch_min_batch,
             envs=args.envs,
             task_timeout_s=args.task_timeout_s,
+            kernel=args.kernel,
         )
     except ValueError as error:
         # Free-form spec fields (--objective most of all) are validated
@@ -287,6 +288,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         executor=args.executor,
         workers=args.workers,
+        kernel=args.kernel,
         progress_every=args.progress_every,
     )
     transport = start_transport(server, host=args.host, port=args.port,
@@ -481,6 +483,15 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                              "bit-identical to scalar stepping, >1 is a "
                              "faster, reproducible scenario -- see "
                              "BENCH_rl.json)")
+    parser.add_argument("--kernel", default=None,
+                        choices=["batched", "fused", "fused32",
+                                 "fused-jit"],
+                        help="cost-model compute kernel (default: "
+                             "$REPRO_KERNEL or batched; fused is "
+                             "bit-identical and faster, fused32 trades "
+                             "~1e-7 relative error for more speed, "
+                             "fused-jit needs numba installed -- see "
+                             "PERFORMANCE.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -543,6 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None,
                        help="pool worker count (default: $REPRO_WORKERS "
                             "or auto)")
+    serve.add_argument("--kernel", default=None,
+                       choices=["batched", "fused", "fused32",
+                                "fused-jit"],
+                       help="cost-model compute kernel for the shared "
+                            "pool (default: $REPRO_KERNEL or batched)")
     serve.add_argument("--cache-dir", default=None, dest="cache_dir",
                        help="result-cache root (default: $REPRO_CACHE_DIR "
                             "or ~/.cache/repro/results)")

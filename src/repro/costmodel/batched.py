@@ -32,6 +32,7 @@ from repro.costmodel.dataflow import (
     BatchDims,
     get_dataflow,
 )
+from repro.costmodel.fused import LRUCache, compile_program, resolve_kernel
 from repro.costmodel.report import BatchCostReport, objective_totals
 from repro.models.layers import Layer, LayerType
 
@@ -41,6 +42,7 @@ __all__ = [
     "BatchedCostModel",
     "LayerTable",
     "evaluate_batch_kernel",
+    "evaluate_with_kernel",
     "objective_totals",
     "ordered_row_sum",
 ]
@@ -239,6 +241,47 @@ def evaluate_batch_kernel(
     )
 
 
+def evaluate_with_kernel(
+    kernel: str,
+    hw: HardwareConfig,
+    table: LayerTable,
+    layer_idx: np.ndarray,
+    style_idx: np.ndarray,
+    pes: np.ndarray,
+    l1_bytes: np.ndarray,
+    programs: LRUCache = None,
+) -> BatchCostReport:
+    """Dispatch one validated batch to the requested kernel.
+
+    ``"batched"`` runs :func:`evaluate_batch_kernel` directly; the fused
+    kinds look up (or compile) the per-``(table, kernel)``
+    :class:`~repro.costmodel.fused.FusedProgram` in ``programs`` and run
+    it.  The cache key is ``(id(table), kernel)`` with an identity
+    staleness check -- ``id`` can recycle after a table is collected,
+    but a cached program pins its table, so a hit whose ``table``/``hw``
+    are not the caller's objects recompiles instead of mis-evaluating.
+
+    Every kernel shares :func:`evaluate_batch_kernel`'s shard
+    invariance, which is what lets the execution backends cache one
+    compiled program per worker and reuse it for every shard.
+    """
+    if kernel == "batched":
+        return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
+                                     pes, l1_bytes)
+    program = None
+    key = (id(table), kernel)
+    if programs is not None:
+        program = programs.get(key)
+        if program is not None and (program.table is not table
+                                    or program.hw is not hw):
+            program = None
+    if program is None:
+        program = compile_program(hw, table, kernel)
+        if programs is not None:
+            programs.put(key, program)
+    return program.evaluate(layer_idx, style_idx, pes, l1_bytes)
+
+
 class BatchedCostModel:
     """Vectorized counterpart of :class:`~repro.costmodel.CostModel`.
 
@@ -253,12 +296,24 @@ class BatchedCostModel:
     """
 
     def __init__(self, hw: HardwareConfig = DEFAULT_HW,
-                 executor=None) -> None:
+                 executor=None, kernel: str = None) -> None:
         self.hw = hw
         #: Optional :class:`~repro.parallel.ExecutionBackend`; ``None``
         #: runs the kernel in-process.
         self.executor = executor
-        self._single_tables: Dict[Layer, LayerTable] = {}
+        #: Which compute kernel in-process batches run (``"batched"``,
+        #: ``"fused"``, ``"fused32"``, ``"fused-jit"``); ``None``
+        #: resolves ``$REPRO_KERNEL`` then the batched default.  An
+        #: attached executor applies its own (identically resolved)
+        #: kernel setting worker-side.
+        self.kernel = resolve_kernel(kernel)
+        # Compiled fused programs, keyed (id(table), kernel).  Bounded:
+        # a long-lived model may see many tables over its lifetime.
+        self._programs = LRUCache(8)
+        # Single-layer tables for evaluate_layer_batch sweeps.  Also
+        # bounded: serve processes sweeping many models would otherwise
+        # grow this per distinct Layer forever.
+        self._single_tables = LRUCache(16)
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -307,25 +362,28 @@ class BatchedCostModel:
         if self.executor is not None:
             return self.executor.evaluate(self.hw, table, layer_idx,
                                           style_idx, pes, l1_bytes)
-        return evaluate_batch_kernel(self.hw, table, layer_idx, style_idx,
-                                     pes, l1_bytes)
+        return evaluate_with_kernel(self.kernel, self.hw, table, layer_idx,
+                                    style_idx, pes, l1_bytes,
+                                    programs=self._programs)
 
     # ------------------------------------------------------------------
     def evaluate_layer_batch(self, layer: Layer, dataflow, pes,
                              l1_bytes) -> BatchCostReport:
         """Sweep one layer over vectors of (pes, l1_bytes) design points.
 
-        The single-layer :class:`LayerTable` is cached per layer, so
-        repeated sweeps (contour grids, per-layer optima) pay the
-        precompute once.
+        The single-layer :class:`LayerTable` is cached per layer (in a
+        bounded LRU), so repeated sweeps (contour grids, per-layer
+        optima) pay the precompute once.  Scalar (0-d) ``pes`` /
+        ``l1_bytes`` are promoted to length-1 vectors, returning a
+        length-1 report.
         """
         style = get_dataflow(dataflow).style
         table = self._single_tables.get(layer)
         if table is None:
             table = LayerTable.build([layer])
-            self._single_tables[layer] = table
-        pes = np.asarray(pes, dtype=np.int64)
-        l1_bytes = np.asarray(l1_bytes, dtype=np.int64)
+            self._single_tables.put(layer, table)
+        pes = np.atleast_1d(np.asarray(pes, dtype=np.int64))
+        l1_bytes = np.atleast_1d(np.asarray(l1_bytes, dtype=np.int64))
         if pes.shape != l1_bytes.shape:
             raise ValueError("pes and l1_bytes must share one shape")
         layer_idx = np.zeros(pes.shape, dtype=np.int64)

@@ -51,8 +51,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.costmodel.batched import LayerTable, evaluate_batch_kernel
+from repro.costmodel.batched import (
+    LayerTable,
+    evaluate_batch_kernel,
+    evaluate_with_kernel,
+)
 from repro.costmodel.constants import HardwareConfig
+from repro.costmodel.fused import LRUCache, resolve_kernel
 from repro.costmodel.report import BatchCostReport
 from repro.parallel.errors import (
     ExecutionError,
@@ -191,18 +196,33 @@ class ExecutionBackend:
             ``compare_methods``, the CLI) resolve the adaptive default.
             Sharding never changes results, so neither does the
             fallback.
+        kernel: Cost-model compute kernel ("batched" | "fused" |
+            "fused32" | "fused-jit"); ``None`` resolves
+            ``$REPRO_KERNEL`` then the batched default.  Every shard --
+            in-process fallback, thread shard, worker process -- runs
+            the same kernel, and the fused kinds are shard-invariant
+            like the batched engine, so sharding still never changes
+            results.
     """
 
     name = "base"
 
     def __init__(self, workers: int = 1,
-                 min_batch_per_worker: int = 0) -> None:
+                 min_batch_per_worker: int = 0,
+                 kernel: str = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if min_batch_per_worker < 0:
             raise ValueError("min_batch_per_worker must be >= 0")
         self.workers = workers
         self.min_batch_per_worker = min_batch_per_worker
+        self.kernel = resolve_kernel(kernel)
+        # Compiled fused programs for in-process evaluation (the serial
+        # backend, the thread shards, and the parallel backends'
+        # below-break-even fallback).  Keyed (id(table), kernel);
+        # bounded, and safe to share across threads (the LRU locks, the
+        # programs keep per-thread scratch).
+        self._programs = LRUCache(8)
         #: Dispatch counters: how many batches ran in-process vs sharded
         #: (observability for the adaptive fallback; never affects
         #: results).
@@ -212,6 +232,13 @@ class ExecutionBackend:
     def _below_break_even(self, batch: int) -> bool:
         """Whether ``batch`` is too small to be worth sharding."""
         return batch < self.min_batch_per_worker * self.workers
+
+    def _run_kernel(self, hw, table, layer_idx, style_idx, pes,
+                    l1_bytes) -> BatchCostReport:
+        """Run one (sub-)batch in-process through this backend's kernel."""
+        return evaluate_with_kernel(self.kernel, hw, table, layer_idx,
+                                    style_idx, pes, l1_bytes,
+                                    programs=self._programs)
 
     def evaluate(self, hw: HardwareConfig, table: LayerTable,
                  layer_idx: np.ndarray, style_idx: np.ndarray,
@@ -243,8 +270,8 @@ class SerialBackend(ExecutionBackend):
 
     def evaluate(self, hw, table, layer_idx, style_idx, pes,
                  l1_bytes) -> BatchCostReport:
-        return evaluate_batch_kernel(hw, table, layer_idx, style_idx, pes,
-                                     l1_bytes)
+        return self._run_kernel(hw, table, layer_idx, style_idx, pes,
+                                l1_bytes)
 
 
 def _concat_reports(parts: Sequence[BatchCostReport]) -> BatchCostReport:
@@ -272,8 +299,9 @@ class ThreadBackend(ExecutionBackend):
 
     def __init__(self, workers: int = 1,
                  min_batch_per_worker: int = 0,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
-        super().__init__(workers, min_batch_per_worker)
+                 fault_plan: Optional[FaultPlan] = None,
+                 kernel: str = None) -> None:
+        super().__init__(workers, min_batch_per_worker, kernel=kernel)
         self._pool: Optional[ThreadPoolExecutor] = None
         self.fault_plan = fault_plan
         self._fired_faults: set = set()
@@ -303,15 +331,15 @@ class ThreadBackend(ExecutionBackend):
         bounds = shard_bounds(layer_idx.size, self.workers)
         if len(bounds) == 1 or self._below_break_even(layer_idx.size):
             self.inline_batches += 1
-            return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
-                                         pes, l1_bytes)
+            return self._run_kernel(hw, table, layer_idx, style_idx,
+                                    pes, l1_bytes)
         self.sharded_batches += 1
         task_id = self._next_task
         self._next_task += 1
         self._check_faults(task_id, len(bounds))
         pool = self._ensure_pool()
         futures = [
-            pool.submit(evaluate_batch_kernel, hw, table,
+            pool.submit(self._run_kernel, hw, table,
                         layer_idx[lo:hi], style_idx[lo:hi], pes[lo:hi],
                         l1_bytes[lo:hi])
             for lo, hi in bounds
@@ -350,15 +378,20 @@ def _worker_main(worker_id: int, task_queue, result_queue,
     if faults:
         for batch_idx, seconds in faults["delay"]:
             delay_at[batch_idx] = delay_at.get(batch_idx, 0.0) + seconds
-    tables: Dict[int, Tuple[HardwareConfig, LayerTable]] = {}
+    tables: Dict[int, Tuple[HardwareConfig, LayerTable, str]] = {}
+    # Compiled fused programs, one per shipped (table, kernel): compiled
+    # on the first shard that needs them, reused for every later shard
+    # of the session (the kernels are shard-invariant, so reuse can
+    # never change results).
+    programs = LRUCache(8)
     while True:
         message = task_queue.get()
         if message is None:
             break
         kind = message[0]
         if kind == "load":
-            _, table_id, hw, layers = message
-            tables[table_id] = (hw, LayerTable.build(layers))
+            _, table_id, hw, layers, kernel = message
+            tables[table_id] = (hw, LayerTable.build(layers), kernel)
             continue
         _, task_id, segment_name, batch, lo, hi, table_id = message
         if task_id in kill_at:
@@ -373,15 +406,16 @@ def _worker_main(worker_id: int, task_queue, result_queue,
                 raise FaultInjected(
                     f"injected fault in worker {worker_id} at batch "
                     f"{task_id}")
-            hw, table = tables[table_id]
+            hw, table, kernel = tables[table_id]
             block = BatchBlock.attach(segment_name, batch)
             try:
-                report = evaluate_batch_kernel(
-                    hw, table,
+                report = evaluate_with_kernel(
+                    kernel, hw, table,
                     block.inputs["layer_idx"][lo:hi],
                     block.inputs["style_idx"][lo:hi],
                     block.inputs["pes"][lo:hi],
-                    block.inputs["l1_bytes"][lo:hi])
+                    block.inputs["l1_bytes"][lo:hi],
+                    programs=programs)
                 block.write_report(report, lo, hi)
             finally:
                 block.close()
@@ -455,8 +489,9 @@ class ProcessBackend(ExecutionBackend):
                  max_retries: Optional[int] = None,
                  backoff_base_s: float = 0.05,
                  task_timeout_s: Optional[float] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
-        super().__init__(workers, min_batch_per_worker)
+                 fault_plan: Optional[FaultPlan] = None,
+                 kernel: str = None) -> None:
+        super().__init__(workers, min_batch_per_worker, kernel=kernel)
         import multiprocessing
 
         if start_method is None:
@@ -591,8 +626,12 @@ class ProcessBackend(ExecutionBackend):
         table_id = id(table)
         self._tables[table_id] = table
         if table_id not in self._shipped[worker_id]:
+            # The kernel rides the load message: the worker compiles its
+            # fused program once per (table, kernel) and reuses it for
+            # every shard (respawned workers are re-shipped on demand
+            # and recompile -- programs are derived state, never lost).
             self._task_queues[worker_id].put(
-                ("load", table_id, hw, table.layers))
+                ("load", table_id, hw, table.layers, self.kernel))
             self._shipped[worker_id].add(table_id)
         return table_id
 
@@ -609,8 +648,8 @@ class ProcessBackend(ExecutionBackend):
             # in-process kernel is bit-identical, so only latency
             # changes.  An idle pool stays warm for the next big batch.
             self.inline_batches += 1
-            return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
-                                         pes, l1_bytes)
+            return self._run_kernel(hw, table, layer_idx, style_idx,
+                                    pes, l1_bytes)
         self.sharded_batches += 1
         self._ensure_started()
         bounds = shard_bounds(layer_idx.size, self.workers)
@@ -828,7 +867,8 @@ class ResilientBackend(ExecutionBackend):
 
     def __init__(self, inner: ExecutionBackend, degrade_after: int = 1,
                  on_degrade=None) -> None:
-        super().__init__(inner.workers, inner.min_batch_per_worker)
+        super().__init__(inner.workers, inner.min_batch_per_worker,
+                         kernel=inner.kernel)
         if degrade_after < 1:
             raise ValueError("degrade_after must be >= 1")
         self.inner = inner
@@ -882,7 +922,8 @@ class ResilientBackend(ExecutionBackend):
                 self.inner.shutdown()
                 self.inner = make_backend(
                     next_name, self.workers, self.min_batch_per_worker,
-                    fault_plan=getattr(self.inner, "fault_plan", None))
+                    fault_plan=getattr(self.inner, "fault_plan", None),
+                    kernel=self.kernel)
                 self.degraded_to = next_name
                 self._failures_at_rung = 0
                 if self.on_degrade is not None:
@@ -908,8 +949,8 @@ def make_backend(executor: str, workers: Optional[int] = None,
                  min_batch_per_worker: int = 0,
                  task_timeout_s: Optional[float] = None,
                  max_retries: Optional[int] = None,
-                 fault_plan: Optional[FaultPlan] = None
-                 ) -> ExecutionBackend:
+                 fault_plan: Optional[FaultPlan] = None,
+                 kernel: Optional[str] = None) -> ExecutionBackend:
     """Build a backend by name ("serial" | "thread" | "process" |
     "chaos").
 
@@ -919,6 +960,8 @@ def make_backend(executor: str, workers: Optional[int] = None,
     does the fault-tolerance knobs.  ``chaos`` is the process backend
     with a :class:`~repro.parallel.faults.FaultPlan` always attached:
     ``fault_plan``, else ``$REPRO_FAULTS``, else a default seeded plan.
+    ``kernel`` picks the cost-model compute kernel everywhere the
+    backend evaluates (``None``: ``$REPRO_KERNEL`` or "batched").
     """
     try:
         cls = _BACKENDS[executor]
@@ -928,13 +971,13 @@ def make_backend(executor: str, workers: Optional[int] = None,
             f"{', '.join(EXECUTORS)}") from None
     workers = default_workers() if workers is None else workers
     if cls is SerialBackend:
-        return cls(workers=workers)
+        return cls(workers=workers, kernel=kernel)
     if cls is ThreadBackend:
         return cls(workers=workers,
                    min_batch_per_worker=min_batch_per_worker,
-                   fault_plan=fault_plan)
+                   fault_plan=fault_plan, kernel=kernel)
     if executor == "chaos" and fault_plan is None:
         fault_plan = FaultPlan.from_env() or FaultPlan.seeded(0)
     return cls(workers=workers, min_batch_per_worker=min_batch_per_worker,
                task_timeout_s=task_timeout_s, max_retries=max_retries,
-               fault_plan=fault_plan)
+               fault_plan=fault_plan, kernel=kernel)

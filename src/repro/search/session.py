@@ -605,8 +605,10 @@ class SearchSession:
                  cost_model: Optional[CostModel] = None) -> None:
         self.spec = spec
         self.info = get_method(spec.method)
+        # A session-built cost model honors the spec's kernel choice; a
+        # caller-shared model keeps whatever kernel it was built with.
         self.cost_model = cost_model if cost_model is not None \
-            else CostModel()
+            else CostModel(kernel=spec.resolved_kernel())
         self.result: Optional[SessionResult] = None
         self._observers: Tuple[SearchObserver, ...] = ()
 
@@ -648,7 +650,8 @@ class SearchSession:
                 executor=executor, workers=self.spec.resolved_workers(),
                 min_batch_per_worker=(
                     self.spec.resolved_dispatch_min_batch()),
-                task_timeout_s=self.spec.resolved_task_timeout_s()))
+                task_timeout_s=self.spec.resolved_task_timeout_s(),
+                kernel=self.spec.resolved_kernel()))
         self._observers = tuple(observers)
         tracker = _Tracker(callbacks)
         context = SessionContext(
@@ -673,6 +676,7 @@ class SearchSession:
                 "repro_version": repro.__version__,
                 "method_kind": self.info.kind,
                 "executor": executor,
+                "kernel": self.spec.resolved_kernel(),
                 "envs": context.envs,
                 "started_at": started_at,
                 "finished_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

@@ -37,6 +37,14 @@ def _executors():
     return EXECUTORS
 
 
+def _kernels():
+    """The canonical cost-model kernel names, owned by
+    :mod:`repro.costmodel.fused` (lazy for the same reason)."""
+    from repro.costmodel.fused import KERNELS
+
+    return KERNELS
+
+
 @dataclass(frozen=True)
 class SearchSpec:
     """A fully specified, serializable search run.
@@ -97,6 +105,15 @@ class SearchSpec:
             ``envs`` is part of the scenario identity, like ``seed``.
             Two-stage methods apply it to their global RL stage;
             genome-space methods ignore it.
+        kernel: Cost-model compute kernel for population-level
+            evaluation -- "batched" (the reference engine) | "fused"
+            (precompiled per-(model, platform) tensor programs,
+            float64 bit-identical) | "fused32" (float32 epilogue,
+            ~1e-7 relative error on float outputs) | "fused-jit"
+            (numba element loop, requires numba installed) -- or
+            ``None`` to defer to ``$REPRO_KERNEL`` (default
+            "batched").  Except for "fused32", never affects results,
+            only wall-clock (see PERFORMANCE.md).
         task_timeout_s: Per-batch deadline (seconds) for the process
             backend's supervision: a batch missing it has its hung
             workers terminated and its lost shards re-dispatched (see
@@ -126,6 +143,7 @@ class SearchSpec:
     dispatch_min_batch: Optional[int] = None
     envs: Optional[int] = None
     task_timeout_s: Optional[float] = None
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str):
@@ -178,6 +196,10 @@ class SearchSpec:
             raise ValueError(
                 "task_timeout_s must be >= 0 (0 disables the deadline, "
                 "None defers to $REPRO_TASK_TIMEOUT)")
+        if self.kernel is not None and self.kernel not in _kernels():
+            raise ValueError(
+                f"kernel must be one of {_kernels()} (or None to defer "
+                f"to $REPRO_KERNEL), got {self.kernel!r}")
 
     # ------------------------------------------------------------------
     def resolved_executor(self) -> str:
@@ -230,6 +252,15 @@ class SearchSpec:
         from repro.parallel.backend import default_task_timeout
 
         return default_task_timeout()
+
+    def resolved_kernel(self) -> str:
+        """The effective cost-model kernel (spec, ``$REPRO_KERNEL``,
+        "batched").  Every kernel except "fused32" is bit-identical to
+        the reference engine (the fused parity suite holds them so), so
+        the env-var override is a safe deploy-time knob."""
+        from repro.costmodel.fused import resolve_kernel
+
+        return resolve_kernel(self.kernel)
 
     def resolved_dispatch_min_batch(self) -> int:
         """The effective adaptive-dispatch threshold (spec,

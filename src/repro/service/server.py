@@ -223,6 +223,9 @@ class SearchServer:
             pools are held ``keep_alive`` across jobs and leased per
             session, so workers warm up once and serve all traffic.
         workers: Pool worker count (``None``: ``$REPRO_WORKERS`` / auto).
+        kernel: Cost-model compute kernel for the shared pool
+            (``None``: ``$REPRO_KERNEL`` or "batched").  Serial jobs
+            resolve their own kernel per spec/env inside the session.
         progress_every: Throttle for per-step job events.
         fault_plan: Deterministic fault-injection plan forwarded to the
             pool (testing; ``None`` defers to ``$REPRO_FAULTS``).
@@ -235,6 +238,7 @@ class SearchServer:
                  max_concurrent: int = 2,
                  executor: Optional[str] = None,
                  workers: Optional[int] = None,
+                 kernel: Optional[str] = None,
                  progress_every: int = 10,
                  fault_plan=None) -> None:
         if max_concurrent < 1:
@@ -253,7 +257,7 @@ class SearchServer:
         if executor != "serial":
             self.coordinator = ParallelCoordinator(
                 executor=executor, workers=workers, keep_alive=True,
-                fault_plan=fault_plan)
+                fault_plan=fault_plan, kernel=kernel)
         self._lock = threading.Lock()
         self._jobs: "Dict[str, Job]" = {}
         self._inflight: Dict[str, Job] = {}
@@ -403,26 +407,60 @@ class SearchServer:
         job._set_state(JobState.DONE)
 
     # ------------------------------------------------------------------
-    def close(self, wait: bool = True) -> None:
+    def close(self, wait: bool = True,
+              timeout: Optional[float] = None) -> bool:
         """Stop accepting work, stop the scheduler, release the pool.
 
-        ``wait=True`` (default) lets in-flight jobs finish; pending jobs
-        are cancelled either way.
+        Pending *and running* jobs are cancel-requested: running
+        sessions get the observer protocol's graceful stop, so they
+        wind down at the next step boundary keeping their best-so-far
+        result (and land ``CANCELLED``, never cached).  ``wait=True``
+        (default) then joins the scheduler threads -- bounded by
+        ``timeout`` seconds in total when given, else indefinitely.
+
+        Returns ``True`` when every scheduler thread has stopped (the
+        pool is released); ``False`` when the bounded wait expired with
+        a session still wedged -- e.g. a hung worker under
+        ``task_timeout_s=0``.  In that case the pool is left up (a
+        shutdown under a running batch would corrupt the wedged
+        session's evaluation); ``close`` is idempotent, so call it
+        again -- or let process exit reap the daemon threads.
         """
+        running = []
         with self._lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
             for job in self._jobs.values():
                 if job.state == JobState.PENDING:
                     job._cancel_requested = True
-        for _ in self._threads:
-            self._queue.put(None)
+                elif job.state == JobState.RUNNING:
+                    # The fixed bug: a wedged RUNNING job was never
+                    # stop-requested, so close(wait=True) joined its
+                    # scheduler thread forever.
+                    job._cancel_requested = True
+                    if job._observer is not None:
+                        running.append(job._observer)
+        # Stop requests fan out to session machinery; never under the
+        # scheduler lock (same discipline as cancel()).
+        for observer in running:
+            observer.request_stop()
+        if first:
+            for _ in self._threads:
+                self._queue.put(None)
+        clean = True
         if wait:
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
             for thread in self._threads:
-                thread.join()
-        if self.coordinator is not None:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                thread.join(remaining)
+                if thread.is_alive():
+                    clean = False
+        if self.coordinator is not None and (clean or not wait):
             self.coordinator.close()
+        return clean
 
     def __enter__(self) -> "SearchServer":
         return self

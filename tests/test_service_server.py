@@ -272,6 +272,58 @@ class TestCancellation:
 
 
 # ----------------------------------------------------------------------
+# Shutdown: close() must stop RUNNING jobs and honor its deadline
+# ----------------------------------------------------------------------
+class TestClose:
+    def test_close_stops_running_job(self, tmp_path):
+        """Regression: close(wait=True) used to request stop only on
+        PENDING jobs, so a big RUNNING job made shutdown wait for the
+        whole search to finish."""
+        server = _server(tmp_path, max_concurrent=1, progress_every=1)
+        job = server.submit(_spec(budget=10_000_000))
+        deadline = time.monotonic() + 30
+        while job.state == JobState.PENDING \
+                and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert job.state == JobState.RUNNING
+        started = time.monotonic()
+        assert server.close(wait=True, timeout=30)
+        # Graceful early stop, not a 10M-step run-out.
+        assert time.monotonic() - started < 30
+        assert job.state == JobState.CANCELLED
+        assert server.store.get(_spec(budget=10_000_000)) is None
+
+    def test_close_timeout_bounds_a_wedged_job(self, tmp_path,
+                                               gated_method):
+        """A job stuck outside the observer protocol can't be stopped
+        gracefully; close(timeout=...) must still return (False) instead
+        of hanging, and a later close finishes the join."""
+        server = _server(tmp_path, max_concurrent=1)
+        job = server.submit(_spec(method=gated_method, budget=1))
+        assert _Gate.entered.wait(timeout=10)
+        started = time.monotonic()
+        assert not server.close(wait=True, timeout=0.3)
+        assert time.monotonic() - started < 10
+        # Unwedge: the method returns, the worker thread sees the cancel
+        # request and the queue sentinel, and a re-close joins cleanly.
+        _Gate.release.set()
+        assert server.close(wait=True, timeout=30)
+        job.wait(timeout=10)
+        assert job.state == JobState.CANCELLED
+
+    def test_close_without_wait_returns_immediately(self, tmp_path,
+                                                    gated_method):
+        server = _server(tmp_path, max_concurrent=1)
+        server.submit(_spec(method=gated_method, budget=1))
+        assert _Gate.entered.wait(timeout=10)
+        started = time.monotonic()
+        server.close(wait=False)
+        assert time.monotonic() - started < 5
+        _Gate.release.set()
+        assert server.close(wait=True, timeout=30)
+
+
+# ----------------------------------------------------------------------
 # Shared pool: concurrency parity and fault recovery
 # ----------------------------------------------------------------------
 class TestSharedPool:
