@@ -3,16 +3,22 @@
 Takes the ``BENCH_costmodel.json`` workload (20 MobileNet-V2 layers x a
 random design-point population) and times one big
 ``evaluate_population`` batch through every execution backend at 1 / 2 /
-4 workers, verifying bit-identical results against the serial kernel.
+4 workers (node-fleet sizes, for the distributed backend), verifying
+bit-identical results against the serial kernel.
 Writes ``BENCH_parallel.json`` at the repo root::
 
     {"serial_s": ..., "cpu_count": ...,
      "thread": {"1": ..., "2": ..., "4": ...},
      "process": {"1": ..., "2": ..., "4": ...},
-     "speedup_process_4": ...,
+     "distributed": {"1": ..., "2": ..., "4": ...},
+     "speedup_process_4": ..., "speedup_distributed_4": ...,
      "break_even": {"sizes": {batch: {"serial_s": ..., "process_s": ...}},
                     "batch": ..., "per_worker": ...,
-                    "default_min_batch_per_worker": ...},
+                    "default_min_batch_per_worker": ...,
+                    "per_transport": {"thread": ..., "process": ...,
+                                      "distributed": ...}},
+     "stealing": {"stealing": {...}, "static": {...},
+                  "static_over_stealing_x": ...},
      "fault_tolerance": {"crash_free": {...}, "faulted": {...},
                          "recovery_overhead_x": ...}}
 
@@ -35,10 +41,19 @@ recorded -- the supervision loop touching the hot path would show up
 here first), and a session recovering from an injected worker kill is
 timed against it so the recovery overhead stays a number, not folklore.
 
-Process sharding only buys wall-clock when there are cores to shard
-onto: the acceptance bar (>= 2x at 4 workers) is asserted when the
-machine has >= 4 CPUs and recorded either way, so the perf trajectory
-stays comparable across hosts.  The population is larger than the cost
+The ``stealing`` section pits pull-based work stealing against static
+round-robin dispatch on a 2-node distributed fleet whose node 0 is
+slowed by an injected delay fault: with stealing, the healthy node
+drains the slow node's queued shards, so the delay costs one shard
+instead of half the batch.  Both numbers are recorded (never asserted
+-- a 1-CPU host serializes the fleet anyway) along with the
+``stolen_shards`` counters.
+
+Process or node sharding only buys wall-clock when there are cores to
+shard onto: the acceptance bars (>= 2x at 4 process workers, >= 2x at 4
+distributed localhost nodes) are asserted when the machine has >= 4
+CPUs and recorded either way, so the perf trajectory stays comparable
+across hosts.  The population is larger than the cost
 model bench's 512 (sharding has per-batch IPC overhead that the paper's
 population sizes would hide in noise) -- the *workload definition*
 (model, layers, genome distribution) is identical.
@@ -108,13 +123,14 @@ def test_parallel_scaling(save_report):
 
     serial_s, reference = _time_population(make_evaluator(), genomes)
 
-    timings = {"thread": {}, "process": {}}
-    for executor in ("thread", "process"):
+    timings = {"thread": {}, "process": {}, "distributed": {}}
+    for executor in ("thread", "process", "distributed"):
         for workers in WORKER_COUNTS:
             with make_backend(executor, workers) as backend:
                 evaluator = make_evaluator(backend)
-                # Warm-up spawns the pool and ships the layer table so
-                # the measurement sees steady-state generations.
+                # Warm-up spawns the pool (or node fleet) and ships the
+                # layer table so the measurement sees steady-state
+                # generations.
                 evaluator.evaluate_population(genomes[:32])
                 seconds, outcomes = _time_population(evaluator, genomes)
             timings[executor][str(workers)] = seconds
@@ -141,8 +157,39 @@ def test_parallel_scaling(save_report):
             if break_even_batch is None and process_s <= small_serial_s:
                 break_even_batch = batch_elements
 
+    # ---- work stealing vs static dispatch under a slow node -----------
+    from repro.parallel import DistributedBackend, FaultPlan
+
+    STEAL_DELAY_S = 0.25
+    stealing = {}
+    for mode, steal in (("stealing", True), ("static", False)):
+        # Batch 0 is the warm-up below; the delay fault slows node 0 on
+        # the measured batch 1, once.
+        plan = FaultPlan(delay_s=((1, 0, STEAL_DELAY_S),))
+        backend = DistributedBackend(nodes=2, shards_per_node=4,
+                                     steal=steal, fault_plan=plan)
+        try:
+            evaluator = make_evaluator(backend)
+            evaluator.evaluate_population(genomes[:32])
+            gc.collect()
+            started = time.perf_counter()
+            outcomes = evaluator.evaluate_population(genomes)
+            stealing[mode] = {
+                "seconds": time.perf_counter() - started,
+                "stolen_shards": backend.stolen_shards,
+                "delay_s": STEAL_DELAY_S,
+            }
+        finally:
+            backend.shutdown()
+        for want, got in zip(reference, outcomes):
+            assert want.cost == got.cost
+            assert want.feasible == got.feasible
+    assert stealing["static"]["stolen_shards"] == 0
+    stealing["static_over_stealing_x"] = (
+        stealing["static"]["seconds"] / stealing["stealing"]["seconds"])
+
     # ---- fault tolerance: supervision overhead and recovery cost ------
-    from repro.parallel import FaultPlan, ParallelCoordinator
+    from repro.parallel import ParallelCoordinator
     from repro.search import SearchSession, SearchSpec
 
     def _timed_session(fault_plan=None):
@@ -182,12 +229,13 @@ def test_parallel_scaling(save_report):
         "recovery_overhead_x": faulted_s / crash_free_s,
     }
 
-    from repro.parallel import DEFAULT_DISPATCH_MIN_BATCH
+    from repro.parallel import DEFAULT_DISPATCH_MIN_BATCH, TRANSPORT_MIN_BATCH
 
     cpu_count = os.cpu_count() or 1
     speedup_process_4 = serial_s / timings["process"]["4"]
+    speedup_distributed_4 = serial_s / timings["distributed"]["4"]
     rows = [["serial", "-", f"{serial_s * 1e3:.2f} ms", "1.00x"]]
-    for executor in ("thread", "process"):
+    for executor in ("thread", "process", "distributed"):
         for workers in WORKER_COUNTS:
             seconds = timings[executor][str(workers)]
             rows.append([executor, str(workers), f"{seconds * 1e3:.2f} ms",
@@ -217,6 +265,15 @@ def test_parallel_scaling(save_report):
               f"{break_even_batch}, shipped default: "
               f"{DEFAULT_DISPATCH_MIN_BATCH}/worker)")
         + "\n\n" + format_table(
+        ["dispatch", "batch time", "stolen shards"],
+        [["stealing", f"{stealing['stealing']['seconds'] * 1e3:.2f} ms",
+          str(stealing["stealing"]["stolen_shards"])],
+         ["static", f"{stealing['static']['seconds'] * 1e3:.2f} ms",
+          str(stealing["static"]["stolen_shards"])]],
+        title=f"2-node fleet, node 0 delayed {STEAL_DELAY_S}s (static "
+              f"is {stealing['static_over_stealing_x']:.2f}x the "
+              f"stealing time)")
+        + "\n\n" + format_table(
         ["run", "session time", "retries", "respawns"],
         [["crash-free", f"{crash_free_s:.3f} s",
           str(crash_free_exec["retries"]),
@@ -234,12 +291,15 @@ def test_parallel_scaling(save_report):
         "num_layers": NUM_LAYERS,
         **timings,
         "speedup_process_4": speedup_process_4,
+        "speedup_distributed_4": speedup_distributed_4,
         "break_even": {
             "sizes": break_even_sizes,
             "batch": break_even_batch,
             "per_worker": break_even_per_worker,
             "default_min_batch_per_worker": DEFAULT_DISPATCH_MIN_BATCH,
+            "per_transport": dict(TRANSPORT_MIN_BATCH),
         },
+        "stealing": stealing,
         "fault_tolerance": fault_tolerance,
     }
 
@@ -258,12 +318,19 @@ def test_parallel_scaling(save_report):
         assert break_even["per_worker"] \
             == break_even["batch"] // BREAK_EVEN_WORKERS
     assert isinstance(break_even["default_min_batch_per_worker"], int)
+    assert set(break_even["per_transport"]) >= {"thread", "process",
+                                                "distributed"}
+    assert all(isinstance(v, int)
+               for v in break_even["per_transport"].values())
 
     (REPO_ROOT / "BENCH_parallel.json").write_text(
         json.dumps(payload, indent=2) + "\n")
 
-    # The scaling bar only means something with cores to scale onto.
+    # The scaling bars only mean something with cores to scale onto.
     if cpu_count >= 4:
         assert speedup_process_4 >= 2.0, (
             f"expected >= 2x at 4 workers on {cpu_count} CPUs, got "
             f"{speedup_process_4:.2f}x")
+        assert speedup_distributed_4 >= 2.0, (
+            f"expected >= 2x at 4 distributed localhost nodes on "
+            f"{cpu_count} CPUs, got {speedup_distributed_4:.2f}x")

@@ -140,17 +140,45 @@ def test_perf_costmodel(save_report):
     # The fused float64 program must be bit-identical to the reference.
     reference = evaluate_with_kernel("batched", DEFAULT_HW, table,
                                      layer_idx, style_idx, pes, l1)
-    fused_report = compile_program(DEFAULT_HW, table, "fused").evaluate(
-        layer_idx, style_idx, pes, l1)
+    fused_program = compile_program(DEFAULT_HW, table, "fused")
+    fused_report = fused_program.evaluate(layer_idx, style_idx, pes, l1)
     assert np.array_equal(reference.latency_cycles,
                           fused_report.latency_cycles)
     assert np.array_equal(reference.energy_nj, fused_report.energy_nj)
+
+    # ------------------------------------------------------------------
+    # MIX fast path: a batch mixing all three dataflow styles, where the
+    # fused program compacts each style's rows instead of planning every
+    # style over the full tensor (the old where-lattice ran ~0.66x the
+    # batched kernel here).
+    # ------------------------------------------------------------------
+    mix_style_idx = rng.integers(0, 3, size=batch_n)
+    mix_batched_s = _time_kernel(lambda: evaluate_with_kernel(
+        "batched", DEFAULT_HW, table, layer_idx, mix_style_idx, pes, l1))
+    mix_fused_s = _time_kernel(lambda: fused_program.evaluate(
+        layer_idx, mix_style_idx, pes, l1))
+    mix_speedup_x = mix_batched_s / mix_fused_s
+    kernel_rows.append(["batched kernel (MIX)",
+                        f"{mix_batched_s * 1e3:.3f}", ""])
+    kernel_rows.append(["fused kernel (MIX)", f"{mix_fused_s * 1e3:.3f}",
+                        f"{mix_speedup_x:.2f}x"])
+
+    mix_reference = evaluate_with_kernel(
+        "batched", DEFAULT_HW, table, layer_idx, mix_style_idx, pes, l1)
+    mix_report = fused_program.evaluate(layer_idx, mix_style_idx, pes, l1)
+    assert np.array_equal(mix_reference.latency_cycles,
+                          mix_report.latency_cycles)
+    assert np.array_equal(mix_reference.energy_nj, mix_report.energy_nj)
+    assert np.array_equal(mix_reference.tile_k, mix_report.tile_k)
 
     payload = {
         "scalar_s": scalar_s,
         "batched_s": batched_s,
         "speedup": speedup,
         "kernel_batched_s": kernel_batched_s,
+        "mix_batched_s": mix_batched_s,
+        "mix_fused_s": mix_fused_s,
+        "mix_speedup_x": mix_speedup_x,
         **kernel_speedups,
     }
     (REPO_ROOT / "BENCH_costmodel.json").write_text(
@@ -180,4 +208,8 @@ def test_perf_costmodel(save_report):
     assert kernel_speedups["fused_speedup_x"] >= 1.5, (
         f"fused program only {kernel_speedups['fused_speedup_x']:.2f}x "
         f"faster than the batched kernel"
+    )
+    assert mix_speedup_x >= 1.0, (
+        f"fused MIX path only {mix_speedup_x:.2f}x the batched kernel "
+        f"on a mixed-style batch"
     )

@@ -20,7 +20,11 @@ Usage (mirrors the CI bench job)::
 A metric missing from the baseline (first run after adding it) is
 reported and skipped; a metric missing from the *fresh* artifact fails
 the gate -- the recording regressed, which is exactly what this script
-exists to catch.
+exists to catch.  A metric present on either side but holding a
+**non-numeric sentinel** (``break_even.batch = "no_crossover"`` when a
+transport never beats serial on a host, for example) is explicitly
+``skipped`` and logged, never silently ignored and never a failure:
+sentinels are legitimate recordings, not missing data.
 """
 
 from __future__ import annotations
@@ -35,33 +39,46 @@ import sys
 GATED_METRICS = [
     ("BENCH_costmodel.json", "speedup"),
     ("BENCH_costmodel.json", "fused_speedup_x"),
+    ("BENCH_costmodel.json", "mix_speedup_x"),
     ("BENCH_rl.json", "speedup_envs_8"),
     ("BENCH_parallel.json", "speedup_process_4"),
+    ("BENCH_parallel.json", "speedup_distributed_4"),
+    ("BENCH_parallel.json", "break_even.batch"),
     ("BENCH_parallel.json", "fault_tolerance.recovery_overhead_x"),
     ("BENCH_service.json", "submit_overhead_x"),
 ]
 
 #: Dotted paths where a larger fresh value is the regression.
 LOWER_IS_BETTER = {"fault_tolerance.recovery_overhead_x",
-                   "submit_overhead_x"}
+                   "submit_overhead_x",
+                   "break_even.batch"}
 
 DEFAULT_TOLERANCE = 0.20
 
-
 def _lookup(document: dict, dotted: str):
+    """The raw value at ``dotted`` or ``None`` when the path is absent.
+    Non-numeric sentinels (``"no_crossover"``) are returned verbatim so
+    the gate can log them as skipped instead of silently ignoring
+    them."""
     node = document
     for key in dotted.split("."):
         if not isinstance(node, dict) or key not in node:
             return None
         node = node[key]
-    return node if isinstance(node, (int, float)) else None
+    return node
+
+
+def _is_number(value) -> bool:
+    # bool is an int subclass but is never a perf ratio.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 def check_trends(fresh_dir: pathlib.Path, baseline_dir: pathlib.Path,
                  tolerance: float = DEFAULT_TOLERANCE) -> list:
     """Return a list of (metric, baseline, fresh, verdict) rows;
     verdict is one of ``ok`` / ``REGRESSED`` / ``new-metric`` /
-    ``MISSING``."""
+    ``MISSING`` / ``skipped`` (a non-numeric sentinel on either
+    side -- logged, never a failure)."""
     rows = []
     cache = {}
 
@@ -81,6 +98,12 @@ def check_trends(fresh_dir: pathlib.Path, baseline_dir: pathlib.Path,
         base = _lookup(base_doc, dotted) if base_doc else None
         if fresh is None:
             rows.append((label, base, fresh, "MISSING"))
+        elif not _is_number(fresh) or (base is not None
+                                       and not _is_number(base)):
+            # A sentinel recording (e.g. "no_crossover") on either side
+            # means the ratio is not comparable on this host: skip it
+            # explicitly rather than treating it as missing or ok.
+            rows.append((label, base, fresh, "skipped"))
         elif base is None:
             rows.append((label, base, fresh, "new-metric"))
         elif dotted in LOWER_IS_BETTER:
@@ -114,9 +137,14 @@ def main(argv=None) -> int:
     rows = check_trends(args.fresh, args.baseline, args.tolerance)
     width = max(len(label) for label, *_ in rows)
     failed = False
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        return f"{value:.3f}" if _is_number(value) else str(value)
+
     for label, base, fresh, verdict in rows:
-        base_s = f"{base:.3f}" if base is not None else "-"
-        fresh_s = f"{fresh:.3f}" if fresh is not None else "-"
+        base_s = fmt(base)
+        fresh_s = fmt(fresh)
         print(f"{label:<{width}}  baseline={base_s:>8}  "
               f"fresh={fresh_s:>8}  {verdict}")
         failed |= verdict in ("REGRESSED", "MISSING")

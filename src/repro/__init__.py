@@ -101,7 +101,7 @@ from repro.parallel import (
     make_backend,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Layer",

@@ -9,6 +9,8 @@ Commands:
                          the results.
     serve                Run the search service (job scheduler + result
                          cache) behind a local TCP port.
+    worker               Run a distributed-execution node agent that
+                         joins a coordinator's fleet.
     submit               Submit one search to a running service.
     jobs                 List (or cancel) a running service's jobs.
     cache                Inspect or clear the content-addressed result
@@ -28,6 +30,7 @@ Examples::
     python -m repro compare --model mobilenet_v2 \
         --methods random,ga,ppo2,reinforce --budget 150
     python -m repro serve --port 7661 --executor process --workers 4
+    python -m repro worker --connect 127.0.0.1:7662
     python -m repro submit --model mnasnet --method sa --budget 200
     python -m repro jobs
     python -m repro cache --stats
@@ -140,6 +143,7 @@ def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
             finetune=args.finetune,
             executor=args.executor,
             workers=args.workers,
+            nodes=args.nodes,
             dispatch_min_batch=args.dispatch_min_batch,
             envs=args.envs,
             task_timeout_s=args.task_timeout_s,
@@ -250,6 +254,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         # $REPRO_DISPATCH_MIN / the measured default).
         callbacks = [ParallelCoordinator(
             first.resolved_executor(), first.resolved_workers(),
+            nodes=first.resolved_nodes(),
             keep_alive=True,
             min_batch_per_worker=first.resolved_dispatch_min_batch(),
             task_timeout_s=first.resolved_task_timeout_s())]
@@ -288,6 +293,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         executor=args.executor,
         workers=args.workers,
+        nodes=args.nodes,
         kernel=args.kernel,
         progress_every=args.progress_every,
     )
@@ -307,6 +313,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         transport.server_close()
         server.close()
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel import run_worker_agent
+
+    print(f"repro worker connecting to {args.connect} "
+          f"(supervised; Ctrl-C to stop)", flush=True)
+    return run_worker_agent(args.connect, name=args.name)
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -454,16 +468,25 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                         help="restrict to the first N layers (0 = all)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--executor", default=None,
-                        choices=["serial", "thread", "process", "chaos"],
+                        choices=["serial", "thread", "process", "chaos",
+                                 "distributed"],
                         help="population-evaluation backend (default: "
                              "$REPRO_EXECUTOR or serial; results are "
                              "bit-identical across backends; chaos is "
                              "process with deterministic fault injection "
-                             "from $REPRO_FAULTS or a seeded default)")
+                             "from $REPRO_FAULTS or a seeded default; "
+                             "distributed shards over repro worker node "
+                             "agents)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for parallel executors "
                              "(default: $REPRO_WORKERS, else available "
                              "cores capped at 8)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="node-fleet size for --executor distributed "
+                             "(default: $REPRO_NODES or 2; self-spawns "
+                             "localhost agents unless $REPRO_BIND names "
+                             "a listen address for external repro "
+                             "worker agents)")
     parser.add_argument("--dispatch-min-batch", type=int, default=None,
                         dest="dispatch_min_batch",
                         help="adaptive dispatch: batches below this many "
@@ -547,13 +570,17 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="max_concurrent",
                        help="sessions in flight at once (default: 2)")
     serve.add_argument("--executor", default=None,
-                       choices=["serial", "thread", "process", "chaos"],
+                       choices=["serial", "thread", "process", "chaos",
+                                "distributed"],
                        help="shared pool backend for every job (default: "
                             "$REPRO_EXECUTOR or serial); non-serial pools "
                             "stay warm across jobs")
     serve.add_argument("--workers", type=int, default=None,
                        help="pool worker count (default: $REPRO_WORKERS "
                             "or auto)")
+    serve.add_argument("--nodes", type=int, default=None,
+                       help="node-fleet size for --executor distributed "
+                            "(default: $REPRO_NODES or 2)")
     serve.add_argument("--kernel", default=None,
                        choices=["batched", "fused", "fused32",
                                 "fused-jit"],
@@ -567,6 +594,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--progress-every", type=int, default=10,
                        dest="progress_every",
                        help="emit a job step event every N steps")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a distributed-execution node agent")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to join (a session or "
+                             "service running with --executor "
+                             "distributed and $REPRO_BIND set)")
+    worker.add_argument("--name", default=None,
+                        help="agent name used in logs and crash "
+                             "diagnostics (default: repro-node-ext-<pid>)")
 
     submit = sub.add_parser("submit",
                             help="submit one search to a running service")
@@ -617,6 +655,7 @@ def main(argv=None) -> int:
         "search": cmd_search,
         "compare": cmd_compare,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
         "cache": cmd_cache,

@@ -10,8 +10,14 @@ work; this package shards that unit across execution backends:
   *supervises* them -- dead or hung workers are respawned and their lost
   shards re-dispatched, bounded by a retry budget
   (:mod:`repro.parallel.errors` is the failure taxonomy).
+* :class:`~repro.parallel.distributed.DistributedBackend` extends the
+  ladder past one host: batches shard over socket-connected
+  ``repro worker`` node agents (self-spawned localhost fleet, or an
+  external one via ``$REPRO_BIND``), with pull-based work stealing and
+  the same supervision/recovery contract.
 * :class:`~repro.parallel.backend.ResilientBackend` adds the
-  process -> thread -> serial degradation ladder on top of any backend.
+  distributed -> process -> thread -> serial degradation ladder on top
+  of any backend.
 * :class:`~repro.parallel.faults.FaultPlan` scripts deterministic
   worker kills / injected exceptions / delays (``$REPRO_FAULTS``, the
   ``chaos`` executor), so every recovery path is tested, not hoped for.
@@ -36,6 +42,7 @@ from repro.parallel.backend import (
     ResilientBackend,
     SerialBackend,
     ThreadBackend,
+    TRANSPORT_MIN_BATCH,
     default_dispatch_min_batch,
     default_max_retries,
     default_task_timeout,
@@ -44,6 +51,13 @@ from repro.parallel.backend import (
     shard_bounds,
 )
 from repro.parallel.coordinator import ParallelCoordinator, PoolLease
+from repro.parallel.distributed import (
+    DistributedBackend,
+    default_bind,
+    default_nodes,
+    run_worker_agent,
+    worker_agent_main,
+)
 from repro.parallel.errors import (
     ExecutionError,
     FaultInjected,
@@ -59,6 +73,7 @@ __all__ = [
     "DEGRADATION_LADDER",
     "EXECUTORS",
     "BatchBlock",
+    "DistributedBackend",
     "ExecutionBackend",
     "ExecutionError",
     "FaultInjected",
@@ -68,13 +83,18 @@ __all__ = [
     "ProcessBackend",
     "ResilientBackend",
     "SerialBackend",
+    "TRANSPORT_MIN_BATCH",
     "TaskTimeoutError",
     "ThreadBackend",
     "WorkerCrashError",
+    "default_bind",
     "default_dispatch_min_batch",
     "default_max_retries",
+    "default_nodes",
     "default_task_timeout",
     "default_workers",
     "make_backend",
+    "run_worker_agent",
     "shard_bounds",
+    "worker_agent_main",
 ]

@@ -78,6 +78,7 @@ __all__ = [
     "ResilientBackend",
     "SerialBackend",
     "ThreadBackend",
+    "TRANSPORT_MIN_BATCH",
     "default_dispatch_min_batch",
     "default_max_retries",
     "default_task_timeout",
@@ -88,8 +89,11 @@ __all__ = [
 
 #: Names accepted by :func:`make_backend` and ``SearchSpec.executor``.
 #: ``chaos`` is the process backend with a deterministic fault plan
-#: attached -- same results, injected failures.
-EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process", "chaos")
+#: attached -- same results, injected failures.  ``distributed`` shards
+#: over socket-connected node agents (see
+#: :mod:`repro.parallel.distributed`).
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process", "chaos",
+                              "distributed")
 
 #: Per-batch recovery budget: how many crash/timeout/fault recoveries a
 #: single ``evaluate`` call may spend before raising (override with
@@ -98,8 +102,10 @@ DEFAULT_MAX_RETRIES = 3
 
 #: The downshift order :class:`ResilientBackend` walks after a pool
 #: failure.  ``serial`` has no entry: it cannot fail for infrastructure
-#: reasons, so an error there propagates.
-DEGRADATION_LADDER: Dict[str, str] = {"process": "thread",
+#: reasons, so an error there propagates.  A distributed fleet that
+#: fails outright falls back to this host's process pool.
+DEGRADATION_LADDER: Dict[str, str] = {"distributed": "process",
+                                      "process": "thread",
                                       "thread": "serial"}
 
 #: Default adaptive-dispatch threshold: batches smaller than this many
@@ -108,6 +114,22 @@ DEGRADATION_LADDER: Dict[str, str] = {"process": "thread",
 #: itself below roughly this size (see the ``break_even`` section of
 #: BENCH_parallel.json, written by ``bench_parallel_scaling.py``).
 DEFAULT_DISPATCH_MIN_BATCH = 256
+
+#: Measured per-transport break-even thresholds (elements per worker
+#: below which the in-process kernel beats sharding): each hop up the
+#: transport ladder adds per-batch cost -- thread wakeup < queue hop +
+#: shared-memory map < socket round-trip + pickled arrays -- so each
+#: needs a bigger batch to amortize it.  Calibrated by the
+#: ``break_even.per_transport`` section of BENCH_parallel.json
+#: (``bench_parallel_scaling.py``); resolved per executor by
+#: ``SearchSpec.resolved_dispatch_min_batch``.
+TRANSPORT_MIN_BATCH: Dict[str, int] = {
+    "serial": 0,           # no dispatch cost to amortize
+    "thread": 128,
+    "process": DEFAULT_DISPATCH_MIN_BATCH,
+    "chaos": DEFAULT_DISPATCH_MIN_BATCH,
+    "distributed": 1024,
+}
 
 
 def default_workers() -> int:
@@ -123,10 +145,12 @@ def default_workers() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
-def default_dispatch_min_batch() -> int:
+def default_dispatch_min_batch(executor: Optional[str] = None) -> int:
     """Adaptive-dispatch threshold when none is requested:
-    ``$REPRO_DISPATCH_MIN`` if set (0 disables the fallback), else
-    :data:`DEFAULT_DISPATCH_MIN_BATCH`."""
+    ``$REPRO_DISPATCH_MIN`` if set (0 disables the fallback), else the
+    transport's measured break-even from :data:`TRANSPORT_MIN_BATCH`
+    (:data:`DEFAULT_DISPATCH_MIN_BATCH` when ``executor`` is ``None``
+    or unknown -- the pre-calibration behavior)."""
     env = os.environ.get("REPRO_DISPATCH_MIN")
     if env is not None:
         threshold = int(env)
@@ -134,7 +158,9 @@ def default_dispatch_min_batch() -> int:
             raise ValueError(
                 f"REPRO_DISPATCH_MIN must be >= 0, got {env!r}")
         return threshold
-    return DEFAULT_DISPATCH_MIN_BATCH
+    if executor is None:
+        return DEFAULT_DISPATCH_MIN_BATCH
+    return TRANSPORT_MIN_BATCH.get(executor, DEFAULT_DISPATCH_MIN_BATCH)
 
 
 def default_max_retries() -> int:
@@ -878,9 +904,16 @@ class ResilientBackend(ExecutionBackend):
         self.degraded_to: Optional[str] = None
         self._failures_at_rung = 0
         # Counters of retired rungs, folded into stats() alongside the
-        # live inner backend's.
+        # live inner backend's.  The distributed-only keys read 0 for
+        # every other backend (getattr default), so the stats schema is
+        # uniform across executors.
         self._absorbed = {"retries": 0, "respawns": 0, "timeouts": 0,
-                          "inline_batches": 0, "sharded_batches": 0}
+                          "inline_batches": 0, "sharded_batches": 0,
+                          "stolen_shards": 0, "reships": 0, "nodes": 0}
+
+    #: stats()/absorbed key -> backend attribute, where they differ
+    #: ("nodes" reports the *peak connected fleet*, not the request).
+    _STAT_ATTRS = {"nodes": "fleet_nodes"}
 
     # ------------------------------------------------------------------
     @property
@@ -889,13 +922,15 @@ class ResilientBackend(ExecutionBackend):
 
     def _absorb(self, backend: ExecutionBackend) -> None:
         for key in self._absorbed:
-            self._absorbed[key] += getattr(backend, key, 0)
+            self._absorbed[key] += getattr(
+                backend, self._STAT_ATTRS.get(key, key), 0)
 
     def stats(self) -> Dict[str, object]:
         """Aggregated fault-tolerance counters across every rung used."""
         data = dict(self._absorbed)
         for key in list(data):
-            data[key] += getattr(self.inner, key, 0)
+            data[key] += getattr(self.inner,
+                                 self._STAT_ATTRS.get(key, key), 0)
         data["pool_failures"] = self.pool_failures
         data["degraded_to"] = self.degraded_to
         data["executor"] = self.inner.name
@@ -962,7 +997,18 @@ def make_backend(executor: str, workers: Optional[int] = None,
     ``fault_plan``, else ``$REPRO_FAULTS``, else a default seeded plan.
     ``kernel`` picks the cost-model compute kernel everywhere the
     backend evaluates (``None``: ``$REPRO_KERNEL`` or "batched").
+    For ``distributed``, ``workers`` is the node-fleet size (``None``:
+    ``$REPRO_NODES`` or the built-in default) and the listen address
+    comes from ``$REPRO_BIND`` (unset: a self-spawned localhost fleet).
     """
+    if executor == "distributed":
+        # Imported lazily: distributed.py imports this module.
+        from repro.parallel.distributed import DistributedBackend
+
+        return DistributedBackend(
+            nodes=workers, min_batch_per_worker=min_batch_per_worker,
+            task_timeout_s=task_timeout_s, max_retries=max_retries,
+            fault_plan=fault_plan, kernel=kernel)
     try:
         cls = _BACKENDS[executor]
     except KeyError:

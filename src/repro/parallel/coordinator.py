@@ -139,9 +139,14 @@ class ParallelCoordinator(SearchObserver):
     """Observer that owns worker lifecycle for one or many sessions.
 
     Args:
-        executor: "serial" | "thread" | "process" | "chaos".
+        executor: "serial" | "thread" | "process" | "chaos" |
+            "distributed".
         workers: Worker count (``None``: ``$REPRO_WORKERS`` or the core
             count).
+        nodes: Node-fleet size for the "distributed" executor
+            (``None``: ``$REPRO_NODES`` or the built-in default); it
+            takes the place of ``workers`` there, since each node is
+            the unit of sharding.  Ignored by other executors.
         keep_alive: Keep workers running after ``on_teardown`` so the
             next run reuses them; call :meth:`close` (or use the
             coordinator as a context manager) when done.  Fault-tolerance
@@ -167,6 +172,7 @@ class ParallelCoordinator(SearchObserver):
 
     def __init__(self, executor: str = "process",
                  workers: Optional[int] = None,
+                 nodes: Optional[int] = None,
                  keep_alive: bool = False,
                  min_batch_per_worker: int = 0,
                  task_timeout_s: Optional[float] = None,
@@ -177,6 +183,7 @@ class ParallelCoordinator(SearchObserver):
         super().__init__()
         self.executor = executor
         self.workers = workers
+        self.nodes = nodes
         self.keep_alive = keep_alive
         self.min_batch_per_worker = min_batch_per_worker
         self.task_timeout_s = task_timeout_s
@@ -212,8 +219,12 @@ class ParallelCoordinator(SearchObserver):
     def _ensure_backend(self) -> _SerializedBackend:
         with self._lock:
             if self.backend is None:
+                # The distributed backend shards per *node*; its fleet
+                # size rides make_backend's workers parameter.
+                width = (self.nodes if self.executor == "distributed"
+                         else self.workers)
                 inner = make_backend(
-                    self.executor, self.workers, self.min_batch_per_worker,
+                    self.executor, width, self.min_batch_per_worker,
                     task_timeout_s=self.task_timeout_s,
                     max_retries=self.max_retries,
                     fault_plan=self.fault_plan,
@@ -289,6 +300,9 @@ class ParallelCoordinator(SearchObserver):
             "timeouts": getattr(backend, "timeouts", 0),
             "inline_batches": backend.inline_batches,
             "sharded_batches": backend.sharded_batches,
+            "stolen_shards": getattr(backend, "stolen_shards", 0),
+            "reships": getattr(backend, "reships", 0),
+            "nodes": getattr(backend, "fleet_nodes", 0),
             "pool_failures": 0,
             "degraded_to": None,
         }

@@ -173,8 +173,7 @@ class _ObservedVectorEnv:
         self._tracker.check_stop()
         return self._venv.reset(episodes)
 
-    def step(self, actions):
-        out = self._venv.step(actions)
+    def _record_wave(self, out):
         for episode in out[3]["episodes"]:
             if episode is not None:
                 self._tracker.record(
@@ -182,6 +181,17 @@ class _ObservedVectorEnv:
                     assignments_fn=lambda e=episode: e.assignments,
                     genome=episode.genome, defer_stop=True)
         return out
+
+    def step(self, actions):
+        return self._record_wave(self._venv.step(actions))
+
+    def step_async(self, actions, background: bool = True):
+        return self._venv.step_async(actions, background=background)
+
+    def step_wait(self, handle):
+        # Episode results materialize at wait time, so the observer
+        # fires here (the double-buffered drivers bypass step()).
+        return self._record_wave(self._venv.step_wait(handle))
 
 
 class _ObservedEvaluator:
@@ -648,6 +658,7 @@ class SearchSession:
             # by a passed coordinator) is the caller's to manage.
             observers.append(ParallelCoordinator(
                 executor=executor, workers=self.spec.resolved_workers(),
+                nodes=self.spec.resolved_nodes(),
                 min_batch_per_worker=(
                     self.spec.resolved_dispatch_min_batch()),
                 task_timeout_s=self.spec.resolved_task_timeout_s(),

@@ -81,18 +81,28 @@ class SearchSpec:
         finetune: Stage-2 budget for two-stage methods; ``None`` means
             ``budget // 4``.  Ignored by single-stage methods.
         executor: Execution backend for population-level evaluation --
-            "serial" | "thread" | "process" -- or ``None`` to defer to
-            ``$REPRO_EXECUTOR`` (default "serial").  Results are
-            bit-identical across backends; only wall-clock changes.
+            "serial" | "thread" | "process" | "distributed" -- or
+            ``None`` to defer to ``$REPRO_EXECUTOR`` (default
+            "serial").  Results are bit-identical across backends; only
+            wall-clock changes.
         workers: Worker count for parallel executors; ``None`` defers to
             ``$REPRO_WORKERS``, else the available cores capped at 8
             (see :func:`repro.parallel.default_workers`).  Never affects
             results, only sharding.
+        nodes: Node-fleet size for the "distributed" executor; ``None``
+            defers to ``$REPRO_NODES``, else the built-in default (see
+            :func:`repro.parallel.default_nodes`).  With ``$REPRO_BIND``
+            unset the session self-spawns that many localhost
+            ``repro worker`` agents; with it set, externally started
+            agents join the fleet.  Ignored by other executors; never
+            affects results, only sharding.
         dispatch_min_batch: Adaptive-dispatch threshold: parallel
             backends fall back to the in-process kernel for batches
             smaller than ``dispatch_min_batch * workers`` (the measured
             IPC break-even; see BENCH_parallel.json).  ``None`` defers to
-            ``$REPRO_DISPATCH_MIN``, else the built-in default; ``0``
+            ``$REPRO_DISPATCH_MIN``, else the executor's calibrated
+            per-transport default (see
+            :data:`repro.parallel.backend.TRANSPORT_MIN_BATCH`); ``0``
             disables the fallback.  Never affects results.
         envs: Lockstep episode count for episodic-RL methods: the agent
             rolls ``envs`` episodes per wave through a
@@ -140,6 +150,7 @@ class SearchSpec:
     finetune: Optional[int] = None
     executor: Optional[str] = None
     workers: Optional[int] = None
+    nodes: Optional[int] = None
     dispatch_min_batch: Optional[int] = None
     envs: Optional[int] = None
     task_timeout_s: Optional[float] = None
@@ -184,6 +195,8 @@ class SearchSpec:
                 f"got {self.executor!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for auto)")
+        if self.nodes is not None and self.nodes < 1:
+            raise ValueError("nodes must be >= 1 (or None for auto)")
         if self.dispatch_min_batch is not None \
                 and self.dispatch_min_batch < 0:
             raise ValueError(
@@ -223,6 +236,15 @@ class SearchSpec:
         from repro.parallel.backend import default_workers
 
         return default_workers()
+
+    def resolved_nodes(self) -> int:
+        """The effective distributed-fleet size (spec, ``$REPRO_NODES``,
+        built-in default).  Only the "distributed" executor consumes it."""
+        if self.nodes is not None:
+            return self.nodes
+        from repro.parallel.distributed import default_nodes
+
+        return default_nodes()
 
     def resolved_objective(self) -> Objective:
         """The spec's objective as a resolved
@@ -264,12 +286,13 @@ class SearchSpec:
 
     def resolved_dispatch_min_batch(self) -> int:
         """The effective adaptive-dispatch threshold (spec,
-        ``$REPRO_DISPATCH_MIN``, built-in default)."""
+        ``$REPRO_DISPATCH_MIN``, the executor's calibrated per-transport
+        break-even)."""
         if self.dispatch_min_batch is not None:
             return self.dispatch_min_batch
         from repro.parallel.backend import default_dispatch_min_batch
 
-        return default_dispatch_min_batch()
+        return default_dispatch_min_batch(self.resolved_executor())
 
     # ------------------------------------------------------------------
     @property

@@ -389,10 +389,14 @@ class TestAdaptiveDispatch:
         monkeypatch.setenv("REPRO_DISPATCH_MIN", "33")
         assert spec.resolved_dispatch_min_batch() == 33
         monkeypatch.delenv("REPRO_DISPATCH_MIN")
-        from repro.parallel import DEFAULT_DISPATCH_MIN_BATCH
+        # Unset, the threshold resolves per transport: each executor
+        # gets its calibrated break-even, not one global constant.
+        from repro.parallel import TRANSPORT_MIN_BATCH
 
-        assert spec.resolved_dispatch_min_batch() \
-            == DEFAULT_DISPATCH_MIN_BATCH
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        for executor, want in TRANSPORT_MIN_BATCH.items():
+            spec = SearchSpec(model="mobilenet_v2", executor=executor)
+            assert spec.resolved_dispatch_min_batch() == want
         with pytest.raises(ValueError, match="dispatch_min_batch"):
             SearchSpec(model="mobilenet_v2", dispatch_min_batch=-1)
 
