@@ -19,6 +19,9 @@ Writes ``BENCH_parallel.json`` at the repo root::
                                       "distributed": ...}},
      "stealing": {"stealing": {...}, "static": {...},
                   "static_over_stealing_x": ...},
+     "hetero": {"static": {...}, "adaptive": {...},
+                "hetero_speedup_x": ...},
+     "hetero_speedup_x": ...,
      "fault_tolerance": {"crash_free": {...}, "faulted": {...},
                          "recovery_overhead_x": ...}}
 
@@ -48,6 +51,15 @@ drains the slow node's queued shards, so the delay costs one shard
 instead of half the batch.  Both numbers are recorded (never asserted
 -- a 1-CPU host serializes the fleet anyway) along with the
 ``stolen_shards`` counters.
+
+The ``hetero`` section measures profile-guided adaptive shard planning
+(``SearchSpec.autotune`` / ``$REPRO_AUTOTUNE``): a 4-worker process
+pool whose worker 0 is throttled per-row (a persistent straggler)
+evaluates the population with static round-robin shards versus
+throughput-proportional shards.  ``hetero_speedup_x`` (static time /
+adaptive time) is asserted >= 1.2 -- the straggler's sleep dominates
+wall clock, so the bar holds even on a 1-CPU host -- and gated against
+the baseline by the trend gate.
 
 Process or node sharding only buys wall-clock when there are cores to
 shard onto: the acceptance bars (>= 2x at 4 process workers, >= 2x at 4
@@ -188,6 +200,62 @@ def test_parallel_scaling(save_report):
     stealing["static_over_stealing_x"] = (
         stealing["static"]["seconds"] / stealing["stealing"]["seconds"])
 
+    # ---- heterogeneous fleet: adaptive shard planning vs static -------
+    # A 4-worker pool whose worker 0 is throttled (sleeps proportional
+    # to every row it is handed) models the heterogeneous fleets the
+    # throughput-aware planner exists for: static round-robin keeps
+    # handing the straggler a quarter of every batch, while the adaptive
+    # plan learns its measured rate from the first batch's timing echoes
+    # and shifts rows onto the healthy workers.  Stealing is off on the
+    # process pool, so the ratio isolates planning.
+    from repro.parallel import TuningState
+
+    HETERO_WORKERS = 4
+    HETERO_THROTTLE_S = 3e-5  # per row: ~0.6 s/batch for the straggler
+    HETERO_BATCHES = 3
+    hetero = {}
+    for mode in ("static", "adaptive"):
+        tuner = TuningState(plan_shards=True) if mode == "adaptive" \
+            else None
+        plan = FaultPlan(throttle_s=((0, HETERO_THROTTLE_S),))
+        backend = make_backend("process", HETERO_WORKERS,
+                               fault_plan=plan, tuner=tuner)
+        try:
+            evaluator = make_evaluator(backend)
+            # Warm-up spawns the pool AND (adaptive) seeds the
+            # throughput model with one full-size batch of echoes.
+            evaluator.evaluate_population(genomes)
+            gc.collect()
+            started = time.perf_counter()
+            for _ in range(HETERO_BATCHES):
+                outcomes = evaluator.evaluate_population(genomes)
+            hetero[mode] = {
+                "seconds": (time.perf_counter() - started)
+                / HETERO_BATCHES,
+            }
+            if tuner is not None:
+                snapshot = tuner.snapshot()
+                hetero[mode]["adaptive_plans"] = \
+                    snapshot["adaptive_plans"]
+                hetero[mode]["rates"] = snapshot["rates"]["process"]
+                assert snapshot["adaptive_plans"] >= HETERO_BATCHES
+        finally:
+            backend.shutdown()
+        for want, got in zip(reference, outcomes):
+            assert want.cost == got.cost
+            assert want.feasible == got.feasible
+    hetero["hetero_speedup_x"] = (hetero["static"]["seconds"]
+                                  / hetero["adaptive"]["seconds"])
+    hetero["throttle_s_per_row"] = HETERO_THROTTLE_S
+    hetero["workers"] = HETERO_WORKERS
+    # The straggler's sleep dominates both modes' wall clock, so the
+    # ratio holds even on a 1-CPU host: this is the bench's perf claim
+    # and the trend gate protects it.
+    assert hetero["hetero_speedup_x"] >= 1.2, (
+        f"adaptive planning should beat static round-robin by >= 1.2x "
+        f"with a throttled straggler, got "
+        f"{hetero['hetero_speedup_x']:.2f}x")
+
     # ---- fault tolerance: supervision overhead and recovery cost ------
     from repro.parallel import ParallelCoordinator
     from repro.search import SearchSession, SearchSpec
@@ -274,6 +342,15 @@ def test_parallel_scaling(save_report):
               f"is {stealing['static_over_stealing_x']:.2f}x the "
               f"stealing time)")
         + "\n\n" + format_table(
+        ["planning", "batch time"],
+        [["static round-robin",
+          f"{hetero['static']['seconds'] * 1e3:.2f} ms"],
+         ["adaptive (throughput-aware)",
+          f"{hetero['adaptive']['seconds'] * 1e3:.2f} ms"]],
+        title=f"{HETERO_WORKERS}-worker pool, worker 0 throttled "
+              f"{HETERO_THROTTLE_S * 1e6:.0f} us/row (adaptive is "
+              f"{hetero['hetero_speedup_x']:.2f}x faster)")
+        + "\n\n" + format_table(
         ["run", "session time", "retries", "respawns"],
         [["crash-free", f"{crash_free_s:.3f} s",
           str(crash_free_exec["retries"]),
@@ -300,6 +377,8 @@ def test_parallel_scaling(save_report):
             "per_transport": dict(TRANSPORT_MIN_BATCH),
         },
         "stealing": stealing,
+        "hetero": hetero,
+        "hetero_speedup_x": hetero["hetero_speedup_x"],
         "fault_tolerance": fault_tolerance,
     }
 

@@ -127,6 +127,18 @@ def _objective_from_args(args: argparse.Namespace) -> str:
     return objective or "latency"
 
 
+def _dispatch_min_batch_arg(value: str):
+    """``--dispatch-min-batch`` accepts an int or the literal "auto"
+    (runtime break-even calibration)."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}") from None
+
+
 def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
     try:
         return SearchSpec(
@@ -148,6 +160,7 @@ def _spec_from_args(args: argparse.Namespace, method: str) -> SearchSpec:
             envs=args.envs,
             task_timeout_s=args.task_timeout_s,
             kernel=args.kernel,
+            autotune=args.autotune,
         )
     except ValueError as error:
         # Free-form spec fields (--objective most of all) are validated
@@ -257,7 +270,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
             nodes=first.resolved_nodes(),
             keep_alive=True,
             min_batch_per_worker=first.resolved_dispatch_min_batch(),
-            task_timeout_s=first.resolved_task_timeout_s())]
+            task_timeout_s=first.resolved_task_timeout_s(),
+            kernel=first.resolved_kernel(),
+            autotune=first.resolved_autotune(),
+            auto_dispatch=first.dispatch_is_auto())]
     try:
         for method in methods:
             spec = _spec_from_args(args, method)
@@ -487,12 +503,15 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                              "localhost agents unless $REPRO_BIND names "
                              "a listen address for external repro "
                              "worker agents)")
-    parser.add_argument("--dispatch-min-batch", type=int, default=None,
+    parser.add_argument("--dispatch-min-batch",
+                        type=_dispatch_min_batch_arg, default=None,
                         dest="dispatch_min_batch",
                         help="adaptive dispatch: batches below this many "
                              "elements per worker run in-process "
                              "(default: $REPRO_DISPATCH_MIN or the "
-                             "measured break-even; 0 always shards)")
+                             "measured break-even; 0 always shards; "
+                             "'auto' calibrates the crossover at "
+                             "runtime by timing the first batches)")
     parser.add_argument("--task-timeout", type=float, default=None,
                         dest="task_timeout_s",
                         help="per-batch deadline in seconds for the "
@@ -508,13 +527,21 @@ def _add_task_arguments(parser: argparse.ArgumentParser) -> None:
                              "BENCH_rl.json)")
     parser.add_argument("--kernel", default=None,
                         choices=["batched", "fused", "fused32",
-                                 "fused-jit"],
+                                 "fused-jit", "auto"],
                         help="cost-model compute kernel (default: "
                              "$REPRO_KERNEL or batched; fused is "
                              "bit-identical and faster, fused32 trades "
                              "~1e-7 relative error for more speed, "
-                             "fused-jit needs numba installed -- see "
-                             "PERFORMANCE.md)")
+                             "fused-jit needs numba installed, auto "
+                             "micro-probes batched vs fused at session "
+                             "start -- see PERFORMANCE.md)")
+    parser.add_argument("--autotune", action="store_true", default=None,
+                        help="profile-guided shard planning: size "
+                             "initial shards to each worker/node's "
+                             "measured rows/sec instead of uniform "
+                             "round-robin (default: $REPRO_AUTOTUNE or "
+                             "off; scheduling only -- results stay "
+                             "bit-identical)")
 
 
 def build_parser() -> argparse.ArgumentParser:

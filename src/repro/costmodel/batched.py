@@ -20,6 +20,8 @@ PERFORMANCE.md for the architecture and the measured speedup.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
@@ -32,7 +34,12 @@ from repro.costmodel.dataflow import (
     BatchDims,
     get_dataflow,
 )
-from repro.costmodel.fused import LRUCache, compile_program, resolve_kernel
+from repro.costmodel.fused import (
+    ConstraintFold,
+    LRUCache,
+    compile_program,
+    resolve_kernel,
+)
 from repro.costmodel.report import BatchCostReport, objective_totals
 from repro.models.layers import Layer, LayerType
 
@@ -40,11 +47,14 @@ __all__ = [
     "BATCH_STYLES",
     "STYLE_INDEX",
     "BatchedCostModel",
+    "ConstraintFold",
     "LayerTable",
     "evaluate_batch_kernel",
     "evaluate_with_kernel",
+    "fused_program",
     "objective_totals",
     "ordered_row_sum",
+    "table_token",
 ]
 
 #: Canonical style order of the batched engine (the MIX action order), and
@@ -66,6 +76,31 @@ def ordered_row_sum(values: np.ndarray) -> np.ndarray:
     return total
 
 
+
+
+# Monotonic table identity.  ``id(table)`` is recycled by the allocator
+# the moment a table is garbage-collected, so a cache keyed on it could
+# serve a *stale* compiled program to an unrelated new table at the same
+# address.  Tokens are assigned once per table, never reused.
+_TABLE_TOKENS = itertools.count(1)
+_TABLE_TOKEN_LOCK = threading.Lock()
+
+
+def table_token(table: "LayerTable") -> int:
+    """A process-unique, never-recycled identity for ``table``.
+
+    Lazily stamped on first use (``LayerTable`` is frozen, so the stamp
+    goes through ``object.__setattr__``); all program caches key on this
+    instead of ``id(table)``.
+    """
+    token = getattr(table, "_token", None)
+    if token is None:
+        with _TABLE_TOKEN_LOCK:
+            token = getattr(table, "_token", None)
+            if token is None:
+                token = next(_TABLE_TOKENS)
+                object.__setattr__(table, "_token", token)
+    return token
 
 
 @dataclass(frozen=True)
@@ -256,10 +291,11 @@ def evaluate_with_kernel(
     ``"batched"`` runs :func:`evaluate_batch_kernel` directly; the fused
     kinds look up (or compile) the per-``(table, kernel)``
     :class:`~repro.costmodel.fused.FusedProgram` in ``programs`` and run
-    it.  The cache key is ``(id(table), kernel)`` with an identity
-    staleness check -- ``id`` can recycle after a table is collected,
-    but a cached program pins its table, so a hit whose ``table``/``hw``
-    are not the caller's objects recompiles instead of mis-evaluating.
+    it.  The cache key is ``(table_token(table), kernel)`` -- a
+    monotonically assigned identity that, unlike ``id(table)``, is never
+    recycled when a table is garbage-collected, so a new table can never
+    inherit a stale program.  The identity staleness check stays as a
+    belt-and-braces guard for hand-built cache entries.
 
     Every kernel shares :func:`evaluate_batch_kernel`'s shard
     invariance, which is what lets the execution backends cache one
@@ -268,8 +304,17 @@ def evaluate_with_kernel(
     if kernel == "batched":
         return evaluate_batch_kernel(hw, table, layer_idx, style_idx,
                                      pes, l1_bytes)
+    program = fused_program(kernel, hw, table, programs)
+    return program.evaluate(layer_idx, style_idx, pes, l1_bytes)
+
+
+def fused_program(kernel: str, hw: HardwareConfig, table: LayerTable,
+                  programs: LRUCache = None):
+    """The compiled :class:`~repro.costmodel.fused.FusedProgram` for
+    ``(hw, table, kernel)``, looked up in (or compiled into) the
+    ``programs`` cache keyed ``(table_token(table), kernel)``."""
     program = None
-    key = (id(table), kernel)
+    key = (table_token(table), kernel)
     if programs is not None:
         program = programs.get(key)
         if program is not None and (program.table is not table
@@ -279,7 +324,7 @@ def evaluate_with_kernel(
         program = compile_program(hw, table, kernel)
         if programs is not None:
             programs.put(key, program)
-    return program.evaluate(layer_idx, style_idx, pes, l1_bytes)
+    return program
 
 
 class BatchedCostModel:
@@ -307,8 +352,9 @@ class BatchedCostModel:
         #: attached executor applies its own (identically resolved)
         #: kernel setting worker-side.
         self.kernel = resolve_kernel(kernel)
-        # Compiled fused programs, keyed (id(table), kernel).  Bounded:
-        # a long-lived model may see many tables over its lifetime.
+        # Compiled fused programs, keyed (table_token(table), kernel).
+        # Bounded: a long-lived model may see many tables over its
+        # lifetime.
         self._programs = LRUCache(8)
         # Single-layer tables for evaluate_layer_batch sweeps.  Also
         # bounded: serve processes sweeping many models would otherwise
@@ -338,6 +384,51 @@ class BatchedCostModel:
             A :class:`BatchCostReport` of arrays, element ``i`` matching
             ``CostModel.evaluate_layer`` on point ``i`` exactly.
         """
+        layer_idx, style_idx, pes, l1_bytes = self._validate(
+            table, layer_idx, style_idx, pes, l1_bytes)
+        if self.executor is not None:
+            return self.executor.evaluate(self.hw, table, layer_idx,
+                                          style_idx, pes, l1_bytes)
+        return evaluate_with_kernel(self.kernel, self.hw, table, layer_idx,
+                                    style_idx, pes, l1_bytes,
+                                    programs=self._programs)
+
+    # ------------------------------------------------------------------
+    def evaluate_constrained(self, table: LayerTable, layer_idx, style_idx,
+                             pes, l1_bytes, deployment: str, kind: str,
+                             budget: float):
+        """Evaluate a batch, folding the platform budget check into the
+        fused epilogue when possible.
+
+        Returns ``(report, fold)``.  ``report`` is always bit-identical
+        to :meth:`evaluate` on the same batch.  ``fold`` is a
+        :class:`~repro.costmodel.fused.ConstraintFold` carrying the
+        population totals plus ``used``/``feasible`` -- or ``None``
+        whenever the fold is unavailable (an executor shards the batch
+        across workers, the kernel has no fused epilogue, or the batch
+        is not in the tiled population layout), in which case callers
+        run their usual reduction post-pass over the report.
+        """
+        layer_idx, style_idx, pes, l1_bytes = self._validate(
+            table, layer_idx, style_idx, pes, l1_bytes)
+        if self.executor is not None:
+            return (self.executor.evaluate(self.hw, table, layer_idx,
+                                           style_idx, pes, l1_bytes), None)
+        if self.kernel not in ("fused", "fused32"):
+            return (evaluate_with_kernel(self.kernel, self.hw, table,
+                                         layer_idx, style_idx, pes,
+                                         l1_bytes,
+                                         programs=self._programs), None)
+        program = fused_program(self.kernel, self.hw, table, self._programs)
+        return program.evaluate_constrained(layer_idx, style_idx, pes,
+                                            l1_bytes, deployment, kind,
+                                            budget)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(table: LayerTable, layer_idx, style_idx, pes, l1_bytes):
+        """Coerce and validate one batch (shared by both evaluate
+        entry points); returns the canonical int64 arrays."""
         layer_idx = np.asarray(layer_idx, dtype=np.int64)
         pes = np.asarray(pes, dtype=np.int64)
         l1_bytes = np.asarray(l1_bytes, dtype=np.int64)
@@ -358,13 +449,7 @@ class BatchedCostModel:
         if style_idx.min() < 0 or style_idx.max() >= len(BATCH_STYLES):
             raise ValueError(
                 f"style_idx out of range; styles: {', '.join(BATCH_STYLES)}")
-
-        if self.executor is not None:
-            return self.executor.evaluate(self.hw, table, layer_idx,
-                                          style_idx, pes, l1_bytes)
-        return evaluate_with_kernel(self.kernel, self.hw, table, layer_idx,
-                                    style_idx, pes, l1_bytes,
-                                    programs=self._programs)
+        return layer_idx, style_idx, pes, l1_bytes
 
     # ------------------------------------------------------------------
     def evaluate_layer_batch(self, layer: Layer, dataflow, pes,

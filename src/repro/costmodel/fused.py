@@ -50,7 +50,7 @@ import os
 import threading
 from collections import OrderedDict
 from types import SimpleNamespace
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,7 @@ __all__ = [
     "DEFAULT_KERNEL",
     "KERNELS",
     "KERNEL_ENV",
+    "ConstraintFold",
     "FusedProgram",
     "LRUCache",
     "compile_program",
@@ -103,9 +104,9 @@ class LRUCache:
     """A small, thread-safe least-recently-used mapping.
 
     Used to bound the per-owner caches this subsystem needs -- compiled
-    programs keyed by ``(id(table), kind)`` and the single-layer
-    ``LayerTable`` cache -- so long-lived ``repro serve`` processes
-    sweeping many models never grow without bound.
+    programs keyed by ``(table_token(table), kind)`` and the
+    single-layer ``LayerTable`` cache -- so long-lived ``repro serve``
+    processes sweeping many models never grow without bound.
     """
 
     def __init__(self, capacity: int) -> None:
@@ -177,6 +178,30 @@ class _GatherView:
 #: (= ``DATAFLOW_ORDER``): dla=0, shi=1, eye=2.  Asserted at compile
 #: time so a reorder cannot silently mis-route plans.
 _DLA, _SHI, _EYE = 0, 1, 2
+
+
+class ConstraintFold(NamedTuple):
+    """Per-population reductions folded into the fused epilogue.
+
+    Produced by :meth:`FusedProgram.evaluate_constrained` when the batch
+    is in the evaluator's tiled ``(P, L)`` layout: the four cost totals
+    plus the platform-budget comparison the population evaluator would
+    otherwise compute in a separate post-pass over the report arrays.
+    Every field is bit-identical to that two-step path -- the sums
+    accumulate column by column through
+    :func:`repro.costmodel.batched.ordered_row_sum` on the very arrays
+    the report carries, so skipping the post-pass can never change a
+    search trajectory.
+    """
+
+    latency_total: np.ndarray
+    energy_total: np.ndarray
+    area_total: np.ndarray
+    power_total: np.ndarray
+    #: The budgeted quantity (``area_total`` or ``power_total``).
+    used: np.ndarray
+    #: ``used <= budget`` per population row.
+    feasible: np.ndarray
 
 
 class FusedProgram:
@@ -448,6 +473,37 @@ class FusedProgram:
         same contract, same shard-invariance)."""
         if self.kind == "fused-jit":
             return self._evaluate_jit(layer_idx, style_idx, pes, l1_bytes)
+        return self._run(layer_idx, style_idx, pes, l1_bytes)[0]
+
+    # ------------------------------------------------------------------
+    def evaluate_constrained(
+        self, layer_idx: np.ndarray, style_idx: np.ndarray,
+        pes: np.ndarray, l1_bytes: np.ndarray, deployment: str,
+        kind: str, budget: float,
+    ) -> Tuple[BatchCostReport, Optional[ConstraintFold]]:
+        """Evaluate a batch and fold the platform budget check in.
+
+        Same contract as :meth:`evaluate`, plus the evaluator's
+        reduction parameters: ``deployment`` (``"lp"`` sums per-layer
+        rows, ``"ls"`` takes the row max for area/power), the platform
+        constraint ``kind`` (``"area"`` or ``"power"``) and its
+        ``budget``.  Returns ``(report, fold)``; ``fold`` is ``None``
+        when the batch is not in the tiled population layout (or under
+        ``fused-jit``, which has no epilogue views) -- callers then run
+        their usual post-pass over the report.
+        """
+        if self.kind == "fused-jit":
+            return (self._evaluate_jit(layer_idx, style_idx, pes,
+                                       l1_bytes), None)
+        report, shape = self._run(layer_idx, style_idx, pes, l1_bytes)
+        if len(shape) != 2:
+            return report, None
+        return report, self._fold(report, shape, deployment, kind, budget)
+
+    # ------------------------------------------------------------------
+    def _run(self, layer_idx, style_idx, pes, l1_bytes):
+        """Plan + epilogue for one batch; returns ``(report, shape)``
+        so callers can tell the tiled ``(P, L)`` layout apart."""
         n = layer_idx.size
         L = self._L
         sc = self._scratch()
@@ -467,7 +523,39 @@ class FusedProgram:
         else:
             plan = self._plan_mix(style_idx.reshape(shape), c, pes_v, l1_v,
                                   sc, shape)
-        return self._epilogue(c, plan, pes_v, l1_v, l1_bytes, sc, shape, n)
+        report = self._epilogue(c, plan, pes_v, l1_v, l1_bytes, sc, shape, n)
+        return report, shape
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold(report, shape, deployment, kind, budget) -> ConstraintFold:
+        """The evaluator's population reductions, over the report arrays
+        while they are still cache-hot.  Deferred import: ``batched``
+        imports this module at load time, but is always fully
+        initialized by the first evaluation."""
+        from repro.costmodel.batched import ordered_row_sum
+
+        latency = report.latency_cycles.reshape(shape)
+        energy = report.energy_nj.reshape(shape)
+        area = report.area_um2.reshape(shape)
+        power = report.power_mw.reshape(shape)
+        latency_total = ordered_row_sum(latency)
+        energy_total = ordered_row_sum(energy)
+        if deployment == "ls":
+            area_total = area.max(axis=1)
+            power_total = power.max(axis=1)
+        else:
+            area_total = ordered_row_sum(area)
+            power_total = ordered_row_sum(power)
+        used = area_total if kind == "area" else power_total
+        return ConstraintFold(
+            latency_total=latency_total,
+            energy_total=energy_total,
+            area_total=area_total,
+            power_total=power_total,
+            used=used,
+            feasible=used <= budget,
+        )
 
     # ------------------------------------------------------------------
     def _epilogue(self, c, plan, pes_v, l1_v, l1_flat, sc, shape,
@@ -815,6 +903,7 @@ def compile_program(hw: HardwareConfig, table,
     installed).  Compilation folds the per-layer constants once --
     microseconds for typical models -- and is cached by the owners
     (``BatchedCostModel``, the execution backends, worker processes) in
-    small :class:`LRUCache` instances keyed on ``(id(table), kind)``.
+    small :class:`LRUCache` instances keyed on the table's
+    never-recycled generation token (``table_token(table), kind``).
     """
     return FusedProgram(hw, table, kind)

@@ -26,6 +26,14 @@ work; this package shards that unit across execution backends:
   fault-tolerance counters into ``SessionResult.provenance``; sessions
   build one automatically from ``SearchSpec.executor`` /
   ``SearchSpec.workers``.
+* :mod:`repro.parallel.tuning` is the profile-guided layer:
+  :class:`~repro.parallel.tuning.ThroughputModel` (per-worker EWMA of
+  rows/sec from shard timing echoes), :class:`~repro.parallel.tuning
+  .ShardPlanner` (initial shard spans proportional to measured rates),
+  break-even calibration (``dispatch_min_batch="auto"``), and kernel
+  auto-selection (``kernel="auto"``) -- all behind
+  ``SearchSpec.autotune`` / ``$REPRO_AUTOTUNE``.  Scheduling only:
+  results stay bit-identical with tuning on or off.
 
 Every backend is bit-identical to the serial kernel -- crash-free,
 recovered, or degraded -- the determinism suite in
@@ -66,13 +74,24 @@ from repro.parallel.errors import (
 )
 from repro.parallel.faults import FaultPlan
 from repro.parallel.shm import BatchBlock
+from repro.parallel.tuning import (
+    AUTOTUNE_ENV,
+    BreakEvenCalibrator,
+    ShardPlanner,
+    ThroughputModel,
+    TuningState,
+    default_autotune,
+    select_kernel,
+)
 
 __all__ = [
+    "AUTOTUNE_ENV",
     "DEFAULT_DISPATCH_MIN_BATCH",
     "DEFAULT_MAX_RETRIES",
     "DEGRADATION_LADDER",
     "EXECUTORS",
     "BatchBlock",
+    "BreakEvenCalibrator",
     "DistributedBackend",
     "ExecutionBackend",
     "ExecutionError",
@@ -83,10 +102,14 @@ __all__ = [
     "ProcessBackend",
     "ResilientBackend",
     "SerialBackend",
+    "ShardPlanner",
     "TRANSPORT_MIN_BATCH",
     "TaskTimeoutError",
     "ThreadBackend",
+    "ThroughputModel",
+    "TuningState",
     "WorkerCrashError",
+    "default_autotune",
     "default_bind",
     "default_dispatch_min_batch",
     "default_max_retries",
@@ -95,6 +118,7 @@ __all__ = [
     "default_workers",
     "make_backend",
     "run_worker_agent",
+    "select_kernel",
     "shard_bounds",
     "worker_agent_main",
 ]

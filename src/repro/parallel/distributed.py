@@ -22,7 +22,8 @@ node -> co   ``("hello", version, slot_or_None, name, cpus)``
 co -> node   ``("welcome", slot, faults_or_None)``
 co -> node   ``("load", table_id, hw, layers, kernel)``
 co -> node   ``("eval", task_id, lo, hi, table_id, inputs)``
-node -> co   ``("ok" | "fault" | "error", task_id, lo, hi, payload)``
+node -> co   ``("ok" | "fault" | "error", task_id, lo, hi, payload,
+node -> co   elapsed_s)``
 co -> node   ``("exit",)``
 ===========  =========================================================
 
@@ -30,7 +31,10 @@ co -> node   ``("exit",)``
 a node that reconnects (or is respawned after a kill) starts with an
 empty cache and is **re-shipped on demand** -- the same contract the
 process backend's respawn path established, surfaced in the ``reships``
-counter.  Pickle is used as the wire format for the same reason the
+counter.  Every reply carries the node-side kernel time (``elapsed_s``,
+the evaluate call only -- never queue wait or framing, which would make
+a starved node look slow), feeding the coordinator's throughput model
+when adaptive shard planning is on.  Pickle is used as the wire format for the same reason the
 process backend uses ``multiprocessing`` queues: the links are trusted
 coordinator<->worker links inside one deployment, never an open
 endpoint for untrusted peers.
@@ -83,7 +87,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.costmodel.batched import LayerTable, evaluate_with_kernel
+from repro.costmodel.batched import (
+    LayerTable,
+    evaluate_with_kernel,
+    table_token,
+)
 from repro.costmodel.fused import LRUCache
 from repro.costmodel.report import BatchCostReport
 from repro.parallel.backend import (
@@ -112,7 +120,8 @@ __all__ = [
 
 #: Wire protocol version carried in the hello frame; a mismatch is a
 #: deployment error (mixed checkouts), rejected at handshake.
-PROTOCOL_VERSION = 1
+#: Version 2 added the per-shard ``elapsed_s`` timing echo to replies.
+PROTOCOL_VERSION = 2
 
 #: Node count when neither ``nodes=`` nor ``$REPRO_NODES`` is given.
 #: Two keeps the default fleet cheap (each node is a full process) while
@@ -229,6 +238,7 @@ def _serve_coordinator(sock: socket.socket, name: Optional[str],
     _slot, faults = rest
     kill_at = list(faults["kill"]) if faults else []
     raise_at = list(faults["raise"]) if faults else []
+    throttle = float(faults.get("throttle", 0.0)) if faults else 0.0
     delay_at: Dict[int, float] = {}
     if faults:
         for batch_idx, seconds in faults["delay"]:
@@ -251,8 +261,11 @@ def _serve_coordinator(sock: socket.socket, name: Optional[str],
         if task_id in kill_at:
             os._exit(1)
         delay = delay_at.pop(task_id, 0.0)
+        if throttle:
+            delay += throttle * (hi - lo)
         if delay:
             time.sleep(delay)
+        elapsed = 0.0
         try:
             if task_id in raise_at:
                 raise_at.remove(task_id)
@@ -260,21 +273,29 @@ def _serve_coordinator(sock: socket.socket, name: Optional[str],
                     f"injected fault on node {name or _slot} at batch "
                     f"{task_id}")
             hw, table, kernel = tables[table_id]
+            # Time the kernel only: queue wait and (un)framing are
+            # coordinator- and transport-side costs; charging them here
+            # would make a starved node look slow and starve it further.
+            # Injected delays emulate a straggler node, so they ARE
+            # charged: the throughput model must see the slow node the
+            # adaptive plan routes around.
+            start = time.perf_counter()
             report = evaluate_with_kernel(
                 kernel, hw, table,
                 inputs["layer_idx"], inputs["style_idx"],
                 inputs["pes"], inputs["l1_bytes"],
                 programs=programs)
+            elapsed = time.perf_counter() - start + delay
             reply = ("ok", task_id, lo, hi,
                      {field: getattr(report, field)
-                      for field, _ in REPORT_FIELDS})
+                      for field, _ in REPORT_FIELDS}, elapsed)
         except FaultInjected as error:
-            reply = ("fault", task_id, lo, hi, repr(error))
+            reply = ("fault", task_id, lo, hi, repr(error), elapsed)
         except BaseException as error:  # noqa: BLE001 - forwarded verbatim
             import traceback
 
             reply = ("error", task_id, lo, hi,
-                     f"{error!r}\n{traceback.format_exc()}")
+                     f"{error!r}\n{traceback.format_exc()}", elapsed)
         try:
             send_frame(sock, reply)
         except (ConnectionError, OSError):
@@ -442,7 +463,9 @@ class DistributedBackend(ExecutionBackend):
             distributed transport has the highest per-batch cost of the
             ladder, so its spec-resolved default is the largest.
         max_retries / backoff_base_s / task_timeout_s / fault_plan /
-            kernel: Exactly the process backend's knobs.
+            kernel / tuner: Exactly the process backend's knobs; the
+            tuner (a ``TuningState``) keys node throughput by slot, so
+            rates survive respawns and reconnects.
         steal: Pull-based work stealing (default).  ``False`` restores
             static round-robin -- the scaling bench's baseline.
         shards_per_node: Deque depth factor under stealing; more shards
@@ -472,9 +495,11 @@ class DistributedBackend(ExecutionBackend):
                  kernel: str = None,
                  steal: bool = True,
                  shards_per_node: int = 4,
-                 connect_timeout_s: float = 30.0) -> None:
+                 connect_timeout_s: float = 30.0,
+                 tuner=None) -> None:
         nodes = default_nodes() if nodes is None else nodes
-        super().__init__(nodes, min_batch_per_worker, kernel=kernel)
+        super().__init__(nodes, min_batch_per_worker, kernel=kernel,
+                         tuner=tuner)
         if shards_per_node < 1:
             raise ValueError("shards_per_node must be >= 1")
         self.nodes = nodes
@@ -546,6 +571,9 @@ class DistributedBackend(ExecutionBackend):
                 "raise": self.fault_plan.raises_for(slot),
                 "delay": [[batch, seconds] for batch, seconds
                           in self._delays[slot]],
+                # Persistent straggler emulation: never pruned, a
+                # respawned node stays slow.
+                "throttle": self.fault_plan.throttle_for(slot),
             }
 
     # ------------------------------------------------------------------
@@ -669,7 +697,7 @@ class DistributedBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------
     def _ship_table(self, node: _Node, hw, table: LayerTable) -> int:
-        table_id = id(table)
+        table_id = table_token(table)
         self._tables[table_id] = table
         if table_id not in node.shipped:
             ever = self._ever_shipped.setdefault(node.slot, set())
@@ -706,10 +734,14 @@ class DistributedBackend(ExecutionBackend):
 
     def evaluate(self, hw, table, layer_idx, style_idx, pes,
                  l1_bytes) -> BatchCostReport:
-        if self._below_break_even(layer_idx.size):
+        if self._route_inline(layer_idx.size):
             self.inline_batches += 1
-            return self._run_kernel(hw, table, layer_idx, style_idx,
-                                    pes, l1_bytes)
+            start = time.perf_counter()
+            report = self._run_kernel(hw, table, layer_idx, style_idx,
+                                      pes, l1_bytes)
+            self._observe_route(layer_idx.size, True,
+                                time.perf_counter() - start)
+            return report
         self.sharded_batches += 1
         self._ensure_started()
         task_id = self._next_task
@@ -720,8 +752,11 @@ class DistributedBackend(ExecutionBackend):
             inputs[name] = np.ascontiguousarray(inputs[name], dtype=dtype)
         outputs = {name: np.empty(layer_idx.size, dtype=dtype)
                    for name, dtype in REPORT_FIELDS}
+        start = time.perf_counter()
         self._run_task(task_id, hw, table, inputs, outputs,
                        int(layer_idx.size))
+        self._observe_route(layer_idx.size, False,
+                            time.perf_counter() - start)
         return BatchCostReport(**outputs)
 
     # ------------------------------------------------------------------
@@ -755,12 +790,21 @@ class DistributedBackend(ExecutionBackend):
         assignment replaced by a shared shard deque that idle nodes
         pull from."""
         live = self._await_fleet(task_id)
-        width = len(live) * (self.shards_per_node if self.steal else 1)
-        bounds = shard_bounds(batch, width)
-        # The static assignment both modes are measured against: shard
-        # i belongs to the i-th live node, round-robin.
-        static_owner = [live[i % len(live)].slot
-                        for i in range(len(bounds))]
+        keys = [node.slot for node in live]
+        chunks = self.shards_per_node if self.steal else 1
+        if self.tuner is not None and self.tuner.plan_shards:
+            # Adaptive plan: shard spans sized to each node's measured
+            # rows/sec (uniform round-robin until rates exist).  Under
+            # stealing the plan only sets the *initial* spans -- the
+            # deque still rebalances tails.
+            bounds, static_owner = self.tuner.plan(
+                batch, self.name, keys, chunks)
+        else:
+            # The static assignment both modes are measured against:
+            # shard i belongs to the i-th live node, round-robin.
+            bounds = shard_bounds(batch, len(live) * chunks)
+            static_owner = [keys[i % len(keys)]
+                            for i in range(len(bounds))]
         todo = deque(range(len(bounds)))
         pending: Dict[Tuple[int, int], int] = {}
         shard_of: Dict[Tuple[int, int], int] = {
@@ -902,13 +946,14 @@ class DistributedBackend(ExecutionBackend):
                         deadline = time.monotonic() + timeout
                     continue
                 _, _, message = event
-                status, done_id, lo, hi, payload = message
+                status, done_id, lo, hi, payload, elapsed = message
                 if done_id != task_id or (lo, hi) not in pending:
                     continue  # stale ack from a recovered attempt
                 if status == "ok":
                     del pending[(lo, hi)]
                     for field, _ in REPORT_FIELDS:
                         outputs[field][lo:hi] = payload[field]
+                    self._observe_shard(node.slot, hi - lo, elapsed)
                     if self.steal:
                         feed(node, limit=1)
                 elif status == "fault":

@@ -103,7 +103,12 @@ class SearchSpec:
             ``$REPRO_DISPATCH_MIN``, else the executor's calibrated
             per-transport default (see
             :data:`repro.parallel.backend.TRANSPORT_MIN_BATCH`); ``0``
-            disables the fallback.  Never affects results.
+            disables the fallback.  ``"auto"`` (spec or env) calibrates
+            the crossover at runtime instead: the first batches time
+            inline vs sharded execution and freeze a measured
+            per-transport threshold (see
+            :class:`repro.parallel.tuning.BreakEvenCalibrator`).  Never
+            affects results.
         envs: Lockstep episode count for episodic-RL methods: the agent
             rolls ``envs`` episodes per wave through a
             :class:`~repro.env.vector.VectorHWAssignmentEnv`, paying one
@@ -120,16 +125,28 @@ class SearchSpec:
             (precompiled per-(model, platform) tensor programs,
             float64 bit-identical) | "fused32" (float32 epilogue,
             ~1e-7 relative error on float outputs) | "fused-jit"
-            (numba element loop, requires numba installed) -- or
-            ``None`` to defer to ``$REPRO_KERNEL`` (default
-            "batched").  Except for "fused32", never affects results,
-            only wall-clock (see PERFORMANCE.md).
+            (numba element loop, requires numba installed) | "auto"
+            (a one-shot micro-probe at session start picks the faster
+            of the bit-identical "batched"/"fused" pair for this
+            (model, platform); the choice lands in
+            ``provenance["tuning"]["kernel"]``) -- or ``None`` to defer
+            to ``$REPRO_KERNEL`` (default "batched").  Except for
+            "fused32", never affects results, only wall-clock (see
+            PERFORMANCE.md).
         task_timeout_s: Per-batch deadline (seconds) for the process
             backend's supervision: a batch missing it has its hung
             workers terminated and its lost shards re-dispatched (see
             :class:`repro.parallel.ProcessBackend`).  ``None`` defers to
             ``$REPRO_TASK_TIMEOUT``; ``0`` explicitly disables the
             deadline.  Recovery never affects results, only wall-clock.
+        autotune: Profile-guided adaptive shard planning: parallel
+            backends size initial shards proportional to each
+            worker/node's measured rows/sec (EWMA over per-shard timing
+            echoes; see :mod:`repro.parallel.tuning`), instead of the
+            static uniform round-robin.  ``None`` defers to
+            ``$REPRO_AUTOTUNE`` (default off).  Scheduling only -- the
+            kernel is shard-invariant, so results are bit-identical
+            with autotune on or off (the parity suite locks this).
     """
 
     model: str
@@ -151,10 +168,11 @@ class SearchSpec:
     executor: Optional[str] = None
     workers: Optional[int] = None
     nodes: Optional[int] = None
-    dispatch_min_batch: Optional[int] = None
+    dispatch_min_batch: Optional[object] = None  # int >= 0 or "auto"
     envs: Optional[int] = None
     task_timeout_s: Optional[float] = None
     kernel: Optional[str] = None
+    autotune: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.model, str):
@@ -198,10 +216,13 @@ class SearchSpec:
         if self.nodes is not None and self.nodes < 1:
             raise ValueError("nodes must be >= 1 (or None for auto)")
         if self.dispatch_min_batch is not None \
-                and self.dispatch_min_batch < 0:
+                and self.dispatch_min_batch != "auto" \
+                and (not isinstance(self.dispatch_min_batch, int)
+                     or self.dispatch_min_batch < 0):
             raise ValueError(
-                "dispatch_min_batch must be >= 0 (0 disables the "
-                "adaptive fallback, None defers to $REPRO_DISPATCH_MIN)")
+                "dispatch_min_batch must be an int >= 0 (0 disables the "
+                "adaptive fallback), \"auto\" (runtime break-even "
+                "calibration), or None (defer to $REPRO_DISPATCH_MIN)")
         if self.envs is not None and self.envs < 1:
             raise ValueError(
                 "envs must be >= 1 (or None to defer to $REPRO_ENVS)")
@@ -209,10 +230,16 @@ class SearchSpec:
             raise ValueError(
                 "task_timeout_s must be >= 0 (0 disables the deadline, "
                 "None defers to $REPRO_TASK_TIMEOUT)")
-        if self.kernel is not None and self.kernel not in _kernels():
+        if self.kernel is not None and self.kernel != "auto" \
+                and self.kernel not in _kernels():
             raise ValueError(
-                f"kernel must be one of {_kernels()} (or None to defer "
-                f"to $REPRO_KERNEL), got {self.kernel!r}")
+                f"kernel must be one of {_kernels()}, \"auto\", or None "
+                f"(defer to $REPRO_KERNEL), got {self.kernel!r}")
+        if self.autotune is not None \
+                and not isinstance(self.autotune, bool):
+            raise ValueError(
+                "autotune must be True, False, or None (defer to "
+                "$REPRO_AUTOTUNE)")
 
     # ------------------------------------------------------------------
     def resolved_executor(self) -> str:
@@ -279,20 +306,61 @@ class SearchSpec:
         """The effective cost-model kernel (spec, ``$REPRO_KERNEL``,
         "batched").  Every kernel except "fused32" is bit-identical to
         the reference engine (the fused parity suite holds them so), so
-        the env-var override is a safe deploy-time knob."""
+        the env-var override is a safe deploy-time knob.  ``"auto"``
+        resolves to "batched" here -- the session's micro-probe
+        (:func:`repro.parallel.tuning.select_kernel`) replaces it
+        before the first evaluation."""
         from repro.costmodel.fused import resolve_kernel
 
+        if self.kernel_is_auto():
+            return "batched"
         return resolve_kernel(self.kernel)
+
+    def kernel_is_auto(self) -> bool:
+        """Whether the kernel should be micro-probed at session start
+        (spec or ``$REPRO_KERNEL`` says "auto")."""
+        kernel = self.kernel
+        if kernel is None:
+            kernel = os.environ.get("REPRO_KERNEL")
+        return kernel == "auto"
 
     def resolved_dispatch_min_batch(self) -> int:
         """The effective adaptive-dispatch threshold (spec,
         ``$REPRO_DISPATCH_MIN``, the executor's calibrated per-transport
-        break-even)."""
+        break-even).  Under ``"auto"`` this is the *fallback* the
+        runtime calibrator freezes to when probing stays inconclusive."""
+        if self.dispatch_is_auto():
+            from repro.parallel.backend import (
+                DEFAULT_DISPATCH_MIN_BATCH,
+                TRANSPORT_MIN_BATCH,
+            )
+
+            return TRANSPORT_MIN_BATCH.get(self.resolved_executor(),
+                                           DEFAULT_DISPATCH_MIN_BATCH)
         if self.dispatch_min_batch is not None:
             return self.dispatch_min_batch
         from repro.parallel.backend import default_dispatch_min_batch
 
         return default_dispatch_min_batch(self.resolved_executor())
+
+    def dispatch_is_auto(self) -> bool:
+        """Whether the inline-vs-shard crossover should be calibrated
+        at runtime (spec or ``$REPRO_DISPATCH_MIN`` says "auto")."""
+        if self.dispatch_min_batch == "auto":
+            return True
+        if self.dispatch_min_batch is None:
+            env = os.environ.get("REPRO_DISPATCH_MIN", "")
+            return env.strip().lower() == "auto"
+        return False
+
+    def resolved_autotune(self) -> bool:
+        """Whether adaptive shard planning is on (spec,
+        ``$REPRO_AUTOTUNE``, off)."""
+        if self.autotune is not None:
+            return self.autotune
+        from repro.parallel.tuning import default_autotune
+
+        return default_autotune()
 
     # ------------------------------------------------------------------
     @property

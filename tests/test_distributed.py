@@ -82,9 +82,12 @@ def test_fleet_spawns_evaluates_and_tears_down(workload):
     try:
         report = backend.evaluate(model.hw, table, *inputs)
         _assert_matches(report, reference)
-        assert backend.connected_nodes == 2
+        # Under $REPRO_FAULTS (the chaos CI legs) an agent may have been
+        # killed mid-batch; its replacement reconnects asynchronously,
+        # so wait for the fleet to heal rather than racing it.
+        _wait_for(lambda: backend.connected_nodes == 2)
         assert backend.fleet_nodes == 2
-        assert len(_agent_processes()) == 2
+        _wait_for(lambda: len(_agent_processes()) == 2)
     finally:
         backend.shutdown()
     assert backend.alive_workers == 0
@@ -117,10 +120,15 @@ def test_node_kill_reships_table_and_recovers(workload):
     assert backend.alive_workers == 0
 
 
-def test_external_agents_reconnect_across_backends(workload):
+def test_external_agents_reconnect_across_backends(workload, monkeypatch):
     """Persistent external agents (the ``repro worker`` path) serve two
     successive coordinators on one fixed bind address -- the session
     restart story -- with the table shipped fresh to each."""
+    # The agents below run in *threads* for speed, so an env-injected
+    # kill fault (the chaos CI legs) would ``os._exit`` the test runner
+    # itself; external-fleet chaos is ``run_worker_agent``'s child
+    # process supervision story, not this test's.
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
     model, table, inputs, reference = workload
     with socket.socket() as probe:
         probe.bind(("127.0.0.1", 0))
@@ -174,11 +182,15 @@ def test_coordinator_teardown_leaves_no_fleet(workload):
         sock.bind(("127.0.0.1", port))
 
 
-def test_work_stealing_counts_and_static_mode(workload):
+def test_work_stealing_counts_and_static_mode(workload, monkeypatch):
     """With stealing on, a 4-node fleet pulls shards off the shared
     deque (counted whenever a shard lands off its static owner); with
     stealing off, every shard goes to its round-robin owner and the
     counter stays zero.  Both modes are bit-identical."""
+    # Exact scheduling counters only hold fault-free: an env-injected
+    # kill (the chaos CI legs) re-dispatches the dead node's shard to a
+    # survivor, which counts as a steal even with ``steal=False``.
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
     model, table, inputs, reference = workload
     stealing = DistributedBackend(nodes=4, shards_per_node=4)
     try:

@@ -33,6 +33,7 @@ from repro.costmodel import (
     numba_available,
     resolve_kernel,
 )
+from repro.costmodel.batched import ordered_row_sum, table_token
 from repro.costmodel.fused import LRUCache
 from repro.costmodel.report import BatchCostReport
 from repro.models import get_model
@@ -309,24 +310,48 @@ class TestProgramCache:
         model = BatchedCostModel(kernel="fused")
         batch = random_batch(table, n=64, seed=29)
         model.evaluate(table, *batch)
-        program = model._programs.get((id(table), "fused"))
+        program = model._programs.get((table_token(table), "fused"))
         assert program is not None
         model.evaluate(table, *batch)
-        assert model._programs.get((id(table), "fused")) is program
+        assert model._programs.get(
+            (table_token(table), "fused")) is program
 
-    def test_stale_id_collision_recompiles(self, table):
-        """A dead table's id() can be recycled by a new object; the
-        cache must notice the identity mismatch and recompile."""
+    def test_table_tokens_never_recycled(self):
+        """Regression for the ``id(table)`` cache keys: ``id()`` is
+        recycled by the allocator the moment a table dies, so a new
+        table could inherit a stale compiled program.  Tokens are
+        monotonic, stable per table, and unique across tables no matter
+        how many die."""
+        import gc
+
+        first = LayerTable.build(get_model("ncf"))
+        token = table_token(first)
+        assert table_token(first) == token  # stable per table
+        seen = {token}
+        del first
+        for _ in range(5):
+            gc.collect()
+            fresh = LayerTable.build(get_model("ncf"))
+            fresh_token = table_token(fresh)
+            assert fresh_token not in seen
+            seen.add(fresh_token)
+            del fresh
+
+    def test_stale_cache_entry_recompiles(self, table):
+        """Belt-and-braces: even a hand-built cache entry whose program
+        was compiled for a different table is noticed by the identity
+        check and recompiled."""
         model = BatchedCostModel(kernel="fused")
         other = LayerTable.build(get_model("mnasnet")[:4])
         stale = compile_program(DEFAULT_HW, other, "fused")
-        model._programs.put((id(table), "fused"), stale)
+        model._programs.put((table_token(table), "fused"), stale)
         batch = tiled_batch(table, pop=3, seed=31)
         report = model.evaluate(table, *batch)
         reference = evaluate_with_kernel("batched", DEFAULT_HW, table,
                                          *batch)
         assert_bit_identical(reference, report)
-        assert model._programs.get((id(table), "fused")) is not stale
+        assert model._programs.get(
+            (table_token(table), "fused")) is not stale
 
     def test_batched_kernel_compiles_nothing(self, table):
         model = BatchedCostModel(kernel="batched")
@@ -387,3 +412,108 @@ class TestBackendKernel:
 
     def test_kernels_tuple_is_public_contract(self):
         assert KERNELS == ("batched", "fused", "fused32", "fused-jit")
+
+
+# ----------------------------------------------------------------------
+# Folded constraint check: the epilogue's budget comparison
+# ----------------------------------------------------------------------
+class TestConstraintFold:
+    """``evaluate_constrained`` folds the population reductions and the
+    platform budget comparison into the fused epilogue; every folded
+    number must match the two-step post-pass bit-for-bit."""
+
+    @pytest.mark.parametrize("kernel", ["fused", "fused32"])
+    @pytest.mark.parametrize("deployment", ["lp", "ls"])
+    @pytest.mark.parametrize("kind", ["area", "power"])
+    def test_fold_matches_two_step_post_pass(self, table, kernel,
+                                             deployment, kind):
+        model = BatchedCostModel(kernel=kernel)
+        pop, num_layers = 17, len(table.layers)
+        batch = tiled_batch(table, pop=pop, seed=43)
+        budget = 5e8 if kind == "area" else 5e3
+        report, fold = model.evaluate_constrained(
+            table, *batch, deployment=deployment, kind=kind,
+            budget=budget)
+        assert fold is not None
+        assert_bit_identical(model.evaluate(table, *batch), report)
+
+        area = report.area_um2.reshape(pop, num_layers)
+        power = report.power_mw.reshape(pop, num_layers)
+        if deployment == "ls":
+            area_total = area.max(axis=1)
+            power_total = power.max(axis=1)
+        else:
+            area_total = ordered_row_sum(area)
+            power_total = ordered_row_sum(power)
+        used = area_total if kind == "area" else power_total
+        for got, want in [
+                (fold.latency_total, ordered_row_sum(
+                    report.latency_cycles.reshape(pop, num_layers))),
+                (fold.energy_total, ordered_row_sum(
+                    report.energy_nj.reshape(pop, num_layers))),
+                (fold.area_total, area_total),
+                (fold.power_total, power_total),
+                (fold.used, used),
+                (fold.feasible, used <= budget)]:
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+
+    def test_fold_unavailable_off_the_fast_path(self, table):
+        """Non-tiled layouts, the batched kernel, and attached
+        executors all decline the fold; the report alone still matches
+        ``evaluate``."""
+        fused = BatchedCostModel(kernel="fused")
+        layer_idx, style_idx, pes, l1 = tiled_batch(table, pop=3, seed=47)
+        scrambled = layer_idx.copy()
+        scrambled[0] = (scrambled[0] + 1) % len(table.layers)
+        report, fold = fused.evaluate_constrained(
+            table, scrambled, style_idx, pes, l1,
+            deployment="lp", kind="area", budget=1e9)
+        assert fold is None
+        assert_bit_identical(
+            fused.evaluate(table, scrambled, style_idx, pes, l1), report)
+
+        batched = BatchedCostModel(kernel="batched")
+        _, fold = batched.evaluate_constrained(
+            table, layer_idx, style_idx, pes, l1,
+            deployment="lp", kind="area", budget=1e9)
+        assert fold is None
+
+        backend = make_backend("thread", workers=2, kernel="fused")
+        sharded = BatchedCostModel(kernel="fused", executor=backend)
+        try:
+            report, fold = sharded.evaluate_constrained(
+                table, layer_idx, style_idx, pes, l1,
+                deployment="lp", kind="area", budget=1e9)
+            assert fold is None
+            assert_bit_identical(
+                batched.evaluate(table, layer_idx, style_idx, pes, l1),
+                report)
+        finally:
+            backend.shutdown()
+
+    @pytest.mark.parametrize("kernel", ["batched", "fused", "fused32"])
+    def test_session_parity_under_folded_constraints(self, kernel):
+        """Whole-session lockdown: the folded path cannot change a
+        search trajectory versus the batched reference."""
+        def run(k):
+            # Pinned serial: the fold only engages with no executor
+            # attached, and fused32's float32 reports cannot shard
+            # into the float64 shm block an env-forced process
+            # executor would use.
+            spec = SearchSpec(model="ncf", platform="cloud",
+                              method="random", budget=10, seed=3,
+                              kernel=k, deployment="lp",
+                              constraint_kind="area", executor="serial")
+            from repro.search import SearchSession
+
+            return SearchSession(spec).run()
+
+        outcome = run(kernel)
+        if kernel == "fused32":
+            assert outcome.best_cost == pytest.approx(
+                run("batched").best_cost, rel=1e-5)
+        else:
+            reference = run("batched")
+            assert outcome.best_cost == reference.best_cost
+            assert outcome.best_assignments == reference.best_assignments
